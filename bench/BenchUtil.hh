@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the figure/table harnesses: run caching across
+ * modes, table formatting, geometric means.
+ */
+
+#ifndef SPMCOH_BENCH_BENCHUTIL_HH
+#define SPMCOH_BENCH_BENCHUTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/Experiments.hh"
+
+namespace spmcoh::benchutil
+{
+
+/** Evaluation scale: full Table 1 machine, default workload scale. */
+constexpr std::uint32_t evalCores = 64;
+constexpr double evalScale = 1.0;
+
+inline RunResults
+run(NasBench b, SystemMode m)
+{
+    return runNasBenchmark(b, m, evalCores, evalScale);
+}
+
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+inline void
+header(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+} // namespace spmcoh::benchutil
+
+#endif // SPMCOH_BENCH_BENCHUTIL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation: the cache-based baseline with and without the L1 stride
+ * prefetcher.
+ *
+ * Sec. 5.4 attributes part of the hybrid system's win to prefetchers
+ * "not able to provide all the data required by all the strided
+ * references on time"; this quantifies how much the baseline relies
+ * on them.
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.hh"
+
+using namespace spmcoh;
+using namespace spmcoh::benchutil;
+
+int
+main()
+{
+    header("Ablation: cache-based baseline prefetcher on/off");
+    std::printf("%-5s %14s %14s %10s\n", "Bench", "cycles(pf on)",
+                "cycles(pf off)", "pf gain");
+    for (NasBench b : {NasBench::FT, NasBench::MG, NasBench::SP}) {
+        const RunResults on = run(b, SystemMode::CacheOnly);
+        SystemParams p =
+            SystemParams::forMode(SystemMode::CacheOnly, evalCores);
+        p.l1d.prefetcher.enabled = false;
+        const RunResults off = runNasBenchmark(
+            b, SystemMode::CacheOnly, evalCores, evalScale, p);
+        std::printf("%-5s %14llu %14llu %9.3fx\n", nasBenchName(b),
+                    static_cast<unsigned long long>(on.cycles),
+                    static_cast<unsigned long long>(off.cycles),
+                    double(off.cycles) / double(on.cycles));
+    }
+    return 0;
+}

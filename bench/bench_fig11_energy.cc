@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 11 reproduction: energy consumption of the cache-based (C)
+ * and hybrid (H) systems, normalized to C, split into CPUs / Caches /
+ * NoC / Others / SPMs / CohProt.
+ *
+ * Paper shape: H saves 13-24% (avg 17%) everywhere but EP (+3%);
+ * cache energy drops 2.5x-6.1x; SPMs consume 12-16% of the total;
+ * CohProt 6-12% (1% in SP).
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.hh"
+
+using namespace spmcoh;
+using namespace spmcoh::benchutil;
+
+namespace
+{
+
+void
+printBar(const char *label, const EnergyBreakdown &e, double norm)
+{
+    std::printf("  %-3s total %6.3f | CPUs %5.3f Caches %5.3f "
+                "NoC %5.3f Others %5.3f SPMs %5.3f CohProt %5.3f\n",
+                label, e.total() / norm, e.cpus / norm,
+                e.caches / norm, e.noc / norm, e.others / norm,
+                e.spms / norm, e.cohProt / norm);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Figure 11: normalized energy, cache-based (C) vs hybrid "
+           "(H)");
+    std::vector<double> ratios;
+    for (NasBench b : allNasBenchmarks()) {
+        const RunResults c = run(b, SystemMode::CacheOnly);
+        const RunResults h = run(b, SystemMode::HybridProto);
+        const double norm = c.energy.total();
+        std::printf("%s:\n", nasBenchName(b));
+        printBar("C", c.energy, norm);
+        printBar("H", h.energy, norm);
+        const double ratio = h.energy.total() / norm;
+        ratios.push_back(ratio);
+        std::printf("  energy ratio H/C = %.3f (cache energy "
+                    "reduction %.1fx)\n",
+                    ratio, c.energy.caches / h.energy.caches);
+    }
+    std::printf("\ngeomean H/C energy ratio: %.3f  (paper: 0.76-0.87 "
+                "except EP 1.03; average 0.83)\n",
+                geomean(ratios));
+    return 0;
+}

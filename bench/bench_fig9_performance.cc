@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 9 reproduction: execution time of the cache-based system
+ * (C) and the hybrid memory system (H), normalized to C, broken into
+ * the Control / Sync / Work phases of Fig. 3.
+ *
+ * Paper shape: H wins everywhere (speedups 1.03x EP to 1.22x,
+ * average 1.14x); work-phase time shrinks 25-43%; C bars are all
+ * Work.
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.hh"
+
+using namespace spmcoh;
+using namespace spmcoh::benchutil;
+
+namespace
+{
+
+void
+printBar(const char *label, const RunResults &r, double norm,
+         std::uint32_t cores)
+{
+    const double scale = 1.0 / (norm * cores);
+    std::printf("  %-3s total %6.3f | control %6.3f  sync %6.3f  "
+                "work %6.3f\n",
+                label, double(r.cycles) / norm,
+                double(r.phaseCycles[0]) * scale,
+                double(r.phaseCycles[1]) * scale,
+                double(r.phaseCycles[2]) * scale);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Figure 9: normalized cycles, cache-based (C) vs hybrid "
+           "(H)");
+    std::vector<double> speedups;
+    for (NasBench b : allNasBenchmarks()) {
+        const RunResults c = run(b, SystemMode::CacheOnly);
+        const RunResults h = run(b, SystemMode::HybridProto);
+        const double norm = double(c.cycles);
+        std::printf("%s:\n", nasBenchName(b));
+        printBar("C", c, norm, evalCores);
+        printBar("H", h, norm, evalCores);
+        const double sp = double(c.cycles) / double(h.cycles);
+        speedups.push_back(sp);
+        const double work_red =
+            1.0 - double(h.phaseCycles[2]) / double(c.phaseCycles[2]);
+        std::printf("  speedup %.3fx, work-phase reduction %.1f%%\n",
+                    sp, 100.0 * work_red);
+    }
+    std::printf("\ngeomean speedup: %.3fx  (paper: 1.03x-1.22x, "
+                "average 1.14x; work phase -25%%..-43%%)\n",
+                geomean(speedups));
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Sparse gather workload (CG-like) demonstrating the guarded access
+ * machinery directly: the same loop is run (a) with data that never
+ * aliases the SPM mappings -- the filters absorb every check -- and
+ * (b) with a deliberately aliased gather target, so guarded accesses
+ * are diverted to local and remote SPMs (Fig. 5b/5d paths).
+ *
+ * Run: ./sparse_guarded
+ */
+
+#include <cstdio>
+
+#include "workloads/Experiments.hh"
+
+using namespace spmcoh;
+
+namespace
+{
+
+constexpr std::uint32_t cores = 8;
+
+void
+report(const char *label, const System &sys, const RunResults &r)
+{
+    (void)sys;
+    std::printf("%s:\n", label);
+    std::printf("  guarded accesses %llu: local-SPM %llu, "
+                "remote-SPM %llu, filter hits %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(
+                    r.counters.guardedAccesses),
+                static_cast<unsigned long long>(r.localSpmServed),
+                static_cast<unsigned long long>(r.remoteSpmServed),
+                static_cast<unsigned long long>(r.filterHits),
+                100.0 * r.filterHitRatio);
+    std::printf("  squashes %llu, filter invalidations %llu, "
+                "CohProt packets %llu\n",
+                static_cast<unsigned long long>(r.squashes),
+                static_cast<unsigned long long>(
+                    r.filterInvalidations),
+                static_cast<unsigned long long>(
+                    r.traffic.classPackets(TrafficClass::CohProt)));
+}
+
+ProgramDecl
+gatherProgram(bool aliased)
+{
+    ProgramDecl prog;
+    prog.name = aliased ? "gather-aliased" : "gather-disjoint";
+    prog.seed = 11;
+
+    ArrayDecl x;
+    x.id = 0;
+    x.name = "x";
+    x.bytes = cores * 8 * 1024;
+    x.threadPrivateSection = true;
+    prog.arrays.push_back(x);
+    ArrayDecl y = x;
+    y.id = 1;
+    y.name = "y";
+    prog.arrays.push_back(y);
+    ArrayDecl t;
+    t.id = 2;
+    t.name = "lookup_table";
+    t.bytes = 96 * 1024;
+    prog.arrays.push_back(t);
+
+    KernelDecl k;
+    k.id = 0;
+    k.name = "gather";
+    k.iterations = cores * 1024;
+    k.instrsPerIter = 10;
+    k.codeBytes = 1024;
+    MemRefDecl rx;
+    rx.id = 0;
+    rx.arrayId = 0;
+    rx.pattern = AccessPattern::Strided;
+    k.refs.push_back(rx);
+    MemRefDecl ry = rx;
+    ry.id = 1;
+    ry.arrayId = 1;
+    ry.isWrite = true;
+    k.refs.push_back(ry);
+    MemRefDecl g;
+    g.id = 2;
+    g.arrayId = aliased ? 0u : 2u;  // aliased: gathers from x itself!
+    g.pattern = AccessPattern::PointerChase;
+    g.pointerBased = true;
+    g.hotFraction = 0.5;
+    g.hotBytes = 16 * 1024;
+    k.refs.push_back(g);
+    prog.kernels.push_back(k);
+    return prog;
+}
+
+RunResults
+runIt(const ProgramDecl &prog)
+{
+    SystemParams p =
+        SystemParams::forMode(SystemMode::HybridProto, cores);
+    System sys(p);
+    PreparedProgram pp = prepareProgram(prog, cores, p.spmBytes);
+    if (!sys.run(makeSources(pp, cores, SystemMode::HybridProto,
+                             p.spmBytes)))
+        fatal("simulation did not complete");
+    return sys.results();
+}
+
+} // namespace
+
+int
+main()
+{
+    // (a) Disjoint data sets: the common case the filter optimizes.
+    const RunResults disjoint = runIt(gatherProgram(false));
+    // (b) The gather target IS the SPM-mapped array: every guarded
+    // access may hit a mapping; the compiler (MustAlias) still emits
+    // guards and the hardware diverts them.
+    const RunResults aliased = runIt(gatherProgram(true));
+
+    System dummy(SystemParams::forMode(SystemMode::HybridProto, 1));
+    report("disjoint gather (filters absorb checks)", dummy,
+           disjoint);
+    report("aliased gather (diverted to SPMs)", dummy, aliased);
+
+    if (aliased.localSpmServed + aliased.remoteSpmServed == 0) {
+        std::printf("expected SPM-diverted guarded accesses!\n");
+        return 1;
+    }
+    std::printf("\nThe aliased run serves guarded accesses from live "
+                "SPM mappings;\nthe disjoint run serves them all "
+                "from the cache hierarchy after\nfilter warmup -- "
+                "exactly the two regimes of Sec. 3.\n");
+    return 0;
+}

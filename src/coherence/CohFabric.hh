@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Registry tying together the per-core coherence controllers, the
+ * FilterDir slices, the global buffer configuration and the ideal-
+ * coherence oracle.
+ *
+ * The FilterDir broadcast (Fig. 5c/5d) is simulated as one aggregate
+ * event; the slice consults remote SPMDirs through this registry at
+ * the probe-arrival instant while every probe/response packet is
+ * accounted on the mesh (see DESIGN.md).
+ */
+
+#ifndef SPMCOH_COHERENCE_COHFABRIC_HH
+#define SPMCOH_COHERENCE_COHFABRIC_HH
+
+#include <vector>
+
+#include "coherence/BufferConfig.hh"
+#include "coherence/Oracle.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+class CohController;
+class FilterDirSlice;
+
+/** Shared state of the SPM coherence protocol. */
+struct CohFabric
+{
+    /** Chip-wide Base/Offset mask registers (fork-join invariant). */
+    BufferConfig config;
+    /** Per-core controllers, indexed by core id. */
+    std::vector<CohController *> ctrls;
+    /** Per-tile FilterDir slices. */
+    std::vector<FilterDirSlice *> slices;
+    /** Ideal-coherence oracle (Fig. 7 baseline). */
+    Oracle oracle;
+    /** True when running the ideal protocol. */
+    bool ideal = false;
+
+    /** FilterDir home slice for a GM base address. */
+    CoreId
+    homeFor(Addr base) const
+    {
+        return static_cast<CoreId>(
+            (base >> config.log2Bytes()) % ctrls.size());
+    }
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_COHERENCE_COHFABRIC_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-core filter of GM base addresses known not to be mapped to any
+ * SPM (Sec. 3.1; Table 1: 48 entries, fully associative, pseudoLRU).
+ *
+ * A filter hit lets a potentially incoherent access proceed to the
+ * cache hierarchy without any remote check, which is the common case
+ * the protocol is optimized for.
+ */
+
+#ifndef SPMCOH_COHERENCE_FILTER_HH
+#define SPMCOH_COHERENCE_FILTER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/PseudoLru.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Fully-associative not-mapped filter. */
+class Filter
+{
+  public:
+    explicit Filter(std::uint32_t entries_ = 48)
+        : valid(entries_, false), bases(entries_, 0), lru(entries_)
+    {}
+
+    std::uint32_t entries() const
+    { return static_cast<std::uint32_t>(valid.size()); }
+
+    /** Lookup; touches replacement state on hit. */
+    bool
+    lookup(Addr base)
+    {
+        for (std::uint32_t i = 0; i < valid.size(); ++i) {
+            if (valid[i] && bases[i] == base) {
+                lru.touch(i);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Lookup without touching replacement state. */
+    bool
+    contains(Addr base) const
+    {
+        for (std::uint32_t i = 0; i < valid.size(); ++i)
+            if (valid[i] && bases[i] == base)
+                return true;
+        return false;
+    }
+
+    /**
+     * Insert a base; no-op if present.
+     * @return the evicted base if the filter was full
+     */
+    std::optional<Addr>
+    insert(Addr base)
+    {
+        std::uint32_t free = entries();
+        for (std::uint32_t i = 0; i < valid.size(); ++i) {
+            if (valid[i] && bases[i] == base) {
+                lru.touch(i);
+                return std::nullopt;
+            }
+            if (!valid[i] && free == entries())
+                free = i;
+        }
+        if (free != entries()) {
+            valid[free] = true;
+            bases[free] = base;
+            lru.touch(free);
+            return std::nullopt;
+        }
+        const std::uint32_t v = lru.victim();
+        const Addr evicted = bases[v];
+        bases[v] = base;
+        lru.touch(v);
+        return evicted;
+    }
+
+    /** Drop a base (FilterDir-initiated invalidation, Fig. 6a). */
+    bool
+    invalidate(Addr base)
+    {
+        for (std::uint32_t i = 0; i < valid.size(); ++i) {
+            if (valid[i] && bases[i] == base) {
+                valid[i] = false;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drop everything (context switch / power gating). */
+    void
+    clear()
+    {
+        std::fill(valid.begin(), valid.end(), false);
+    }
+
+    std::uint32_t
+    occupancy() const
+    {
+        std::uint32_t n = 0;
+        for (bool v : valid)
+            n += v;
+        return n;
+    }
+
+  private:
+    std::vector<bool> valid;
+    std::vector<Addr> bases;
+    PseudoLru lru;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_COHERENCE_FILTER_HH

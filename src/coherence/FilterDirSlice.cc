@@ -1,0 +1,373 @@
+/**
+ * @file
+ * FilterDir slice implementation.
+ */
+
+#include "coherence/FilterDirSlice.hh"
+
+#include "coherence/CohController.hh"
+
+namespace spmcoh
+{
+
+FilterDirSlice::FilterDirSlice(MemNet &net_, CohFabric &fab_,
+                               CoreId tile_, const FilterDirParams &p_,
+                               const std::string &name)
+    : net(net_), fab(fab_), tile(tile_), p(p_),
+      slots(p_.entriesPerSlice), lru(p_.entriesPerSlice), stats(name)
+{
+}
+
+bool
+FilterDirSlice::tracks(Addr base) const
+{
+    return findSlot(base, SlotState::Valid) >= 0;
+}
+
+std::uint64_t
+FilterDirSlice::sharersOf(Addr base) const
+{
+    const std::int32_t i = findSlot(base, SlotState::Valid);
+    return i < 0 ? 0 : slots[static_cast<std::size_t>(i)].sharers;
+}
+
+std::uint32_t
+FilterDirSlice::validEntries() const
+{
+    std::uint32_t n = 0;
+    for (const Slot &s : slots)
+        n += s.st == SlotState::Valid;
+    return n;
+}
+
+std::int32_t
+FilterDirSlice::findSlot(Addr base, SlotState st) const
+{
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        if (slots[i].st == st && slots[i].base == base)
+            return static_cast<std::int32_t>(i);
+    return -1;
+}
+
+void
+FilterDirSlice::handle(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::FilterCheck:      onFilterCheck(msg); break;
+      case MsgType::FilterInval:      onFilterInval(msg); break;
+      case MsgType::FilterEvictNotify: onEvictNotify(msg); break;
+      case MsgType::FilterInvalFwdAck: onFwdAck(msg); break;
+      default:
+        panic("FilterDirSlice: unexpected message");
+    }
+}
+
+bool
+FilterDirSlice::enqueueIfBusy(Addr base, const Message &msg)
+{
+    auto it = busyBases.find(base);
+    if (it == busyBases.end())
+        return false;
+    it->second.push_back(msg);
+    ++stats.counter("queuedOps");
+    return true;
+}
+
+void
+FilterDirSlice::releaseBase(Addr base)
+{
+    auto it = busyBases.find(base);
+    if (it == busyBases.end())
+        panic("FilterDirSlice: releasing idle base");
+    std::deque<Message> q = std::move(it->second);
+    busyBases.erase(it);
+    // Re-inject queued operations in arrival order.
+    for (const Message &m : q) {
+        const Message copy = m;
+        net.events().scheduleIn(1, [this, copy] { handle(copy); });
+    }
+}
+
+void
+FilterDirSlice::onFilterCheck(const Message &msg)
+{
+    ++stats.counter("checks");
+    const Addr base = fab.config.base(msg.addr);
+    if (enqueueIfBusy(base, msg))
+        return;
+    const Message req = msg;
+    net.events().scheduleIn(p.lookupLatency, [this, req, base] {
+        if (enqueueIfBusy(base, req))
+            return;  // a broadcast started while we looked up
+        const std::int32_t i = findSlot(base, SlotState::Valid);
+        if (i >= 0) {
+            // Known unmapped: add the sharer and ACK (Fig. 6b step 2).
+            ++stats.counter("checkHits");
+            Slot &s = slots[static_cast<std::size_t>(i)];
+            s.sharers |= bit(req.requestor);
+            lru.touch(static_cast<std::uint32_t>(i));
+            sendToCore(req.requestor, MsgType::FilterCheckAck,
+                       req.addr, req.aux);
+        } else {
+            broadcastProbe(req, base);
+        }
+    });
+}
+
+void
+FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
+{
+    ++stats.counter("broadcasts");
+    busyBases.emplace(base, std::deque<Message>{});
+    const std::uint32_t n = net.cores();
+
+    // Account every probe and response packet; simulate the exchange
+    // as one aggregate event at the worst-case probe arrival time.
+    for (CoreId c = 0; c < n; ++c) {
+        if (c == msg.requestor)
+            continue;
+        net.accountOnly(tile, c, TrafficClass::CohProt, false);
+        net.accountOnly(c, tile, TrafficClass::CohProt, false);
+        fab.ctrls[c]->countProbe();
+    }
+    const Tick probe_arrive =
+        net.noc().maxLatencyFrom(tile, ctrlPacketBytes) +
+        p.probeLatency;
+    const Tick responses_back = probe_arrive +
+        net.noc().maxLatencyFrom(tile, ctrlPacketBytes);
+
+    const Message req = msg;
+    net.events().scheduleIn(probe_arrive, [this, req, base,
+                                           responses_back,
+                                           probe_arrive] {
+        // Evaluate the SPMDir CAMs at probe-arrival time.
+        CoreId owner = invalidCore;
+        std::uint32_t buf_idx = 0;
+        for (CoreId c = 0; c < net.cores(); ++c) {
+            if (c == req.requestor)
+                continue;
+            if (auto idx = fab.ctrls[c]->spmDirLookup(base)) {
+                owner = c;
+                buf_idx = *idx;
+                break;
+            }
+        }
+        const Tick resp_delay = responses_back - probe_arrive;
+        if (owner != invalidCore) {
+            // Fig. 5d: a remote SPM serves the access directly.
+            ++stats.counter("remoteHits");
+            const std::uint32_t spm_off = static_cast<std::uint32_t>(
+                buf_idx * fab.config.bytes() +
+                fab.config.offset(req.addr));
+            const std::uint8_t size =
+                static_cast<std::uint8_t>(req.aux & 0xff);
+            const CoreId own = owner;
+            net.events().scheduleIn(1, [this, req, own, spm_off,
+                                        size] {
+                Spm &rspm = fab.ctrls[own]->spmRef();
+                Message r;
+                r.addr = req.addr;
+                r.aux = req.aux;
+                r.requestor = req.requestor;
+                r.cls = TrafficClass::CohProt;
+                if (req.isWrite) {
+                    rspm.write(spm_off, size, req.data.read64(0));
+                    r.type = MsgType::RemoteSpmStAck;
+                } else {
+                    r.type = MsgType::RemoteSpmData;
+                    r.hasData = true;
+                    r.data.write64(0, rspm.read(spm_off, size));
+                }
+                net.send(own, Endpoint::Coh, req.requestor, r,
+                         TrafficClass::CohProt);
+            });
+            // Informational NACK: the filter must not cache the base.
+            net.events().scheduleIn(resp_delay, [this, req, base] {
+                sendToCore(req.requestor, MsgType::FilterCheckNack,
+                           req.addr, req.aux);
+                releaseBase(base);
+            });
+        } else {
+            // Fig. 5c: nobody maps it; install and ACK after all
+            // NACK responses are in.
+            net.events().scheduleIn(resp_delay, [this, req, base] {
+                // insertAndAck releases the base serialization once
+                // the install (and any victim drain) completes.
+                insertAndAck(base, req.requestor, req.aux);
+            });
+        }
+    });
+}
+
+void
+FilterDirSlice::insertAndAck(Addr base, CoreId requestor,
+                             std::uint64_t aux)
+{
+    // Another transaction may have installed the base meanwhile.
+    if (std::int32_t i = findSlot(base, SlotState::Valid); i >= 0) {
+        slots[static_cast<std::size_t>(i)].sharers |= bit(requestor);
+        sendToCore(requestor, MsgType::FilterCheckAck, base, aux);
+        releaseBase(base);
+        return;
+    }
+    // Prefer a free slot.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].st == SlotState::Free) {
+            slots[i] = Slot{SlotState::Valid, base, bit(requestor)};
+            lru.touch(static_cast<std::uint32_t>(i));
+            ++stats.counter("inserts");
+            sendToCore(requestor, MsgType::FilterCheckAck, base, aux);
+            releaseBase(base);
+            return;
+        }
+    }
+    // Evict the pseudo-LRU valid victim; its sharers must drop the
+    // base from their filters before the slot is recycled.
+    std::uint32_t victim = lru.victim();
+    if (slots[victim].st != SlotState::Valid) {
+        bool found = false;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].st == SlotState::Valid) {
+                victim = static_cast<std::uint32_t>(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            // Everything is draining (pathological); retry shortly.
+            // The base stays serialized through the retry and is
+            // released by whichever insertAndAck path completes.
+            ++stats.counter("insertRetries");
+            net.events().scheduleIn(p.retryDelay,
+                                    [this, base, requestor, aux] {
+                insertAndAck(base, requestor, aux);
+            });
+            return;
+        }
+    }
+    ++stats.counter("evictions");
+    // The base stays serialized (busy) until the victim drain
+    // completes; onFwdAck releases it.
+    Slot &v = slots[victim];
+    v.st = SlotState::Draining;
+    const std::uint64_t op_id = nextOp++;
+    PendingOp op;
+    op.kind = PendingOp::Kind::Drain;
+    op.slot = victim;
+    op.newBase = base;
+    op.requestor = requestor;
+    op.aux = aux;
+    std::uint64_t sharers = v.sharers;
+    for (CoreId c = 0; sharers != 0; ++c, sharers >>= 1) {
+        if (sharers & 1) {
+            ++op.pendingAcks;
+            sendToCore(c, MsgType::FilterInvalFwd, v.base, op_id);
+        }
+    }
+    if (op.pendingAcks == 0) {
+        v = Slot{SlotState::Valid, base, bit(requestor)};
+        lru.touch(victim);
+        ++stats.counter("inserts");
+        sendToCore(requestor, MsgType::FilterCheckAck, base, aux);
+        releaseBase(base);
+        return;
+    }
+    ops.emplace(op_id, std::move(op));
+}
+
+void
+FilterDirSlice::onFilterInval(const Message &msg)
+{
+    ++stats.counter("mapInvalidations");
+    if (enqueueIfBusy(msg.addr, msg))
+        return;
+    const Message req = msg;
+    net.events().scheduleIn(p.lookupLatency, [this, req] {
+        const Addr base = req.addr;
+        std::uint64_t sharers = 0;
+        for (Slot &s : slots) {
+            if (s.base == base && (s.st == SlotState::Valid ||
+                                   s.st == SlotState::Draining)) {
+                sharers |= s.sharers;
+                if (s.st == SlotState::Valid)
+                    s = Slot{};  // entry removed (Fig. 6a)
+            }
+        }
+        if (sharers == 0) {
+            sendToCore(req.requestor, MsgType::FilterInvalDone, base,
+                       req.aux);
+            return;
+        }
+        ++stats.counter("sharerInvalidations");
+        const std::uint64_t op_id = nextOp++;
+        PendingOp op;
+        op.kind = PendingOp::Kind::MapInval;
+        op.requestor = req.requestor;
+        op.aux = req.aux;
+        std::uint64_t m = sharers;
+        for (CoreId c = 0; m != 0; ++c, m >>= 1) {
+            if (m & 1) {
+                ++op.pendingAcks;
+                sendToCore(c, MsgType::FilterInvalFwd, base, op_id);
+            }
+        }
+        ops.emplace(op_id, std::move(op));
+    });
+}
+
+void
+FilterDirSlice::onEvictNotify(const Message &msg)
+{
+    ++stats.counter("evictNotifies");
+    const std::int32_t i = findSlot(msg.addr, SlotState::Valid);
+    if (i >= 0)
+        slots[static_cast<std::size_t>(i)].sharers &=
+            ~bit(msg.requestor);
+}
+
+void
+FilterDirSlice::onFwdAck(const Message &msg)
+{
+    auto it = ops.find(msg.aux);
+    if (it == ops.end())
+        panic("FilterDirSlice: ack for unknown op");
+    PendingOp &op = it->second;
+    if (op.pendingAcks == 0)
+        panic("FilterDirSlice: ack underflow");
+    if (--op.pendingAcks != 0)
+        return;
+    const PendingOp done = std::move(it->second);
+    ops.erase(it);
+    if (done.kind == PendingOp::Kind::Drain) {
+        slots[done.slot] =
+            Slot{SlotState::Valid, done.newBase, bit(done.requestor)};
+        lru.touch(done.slot);
+        ++stats.counter("inserts");
+        sendToCore(done.requestor, MsgType::FilterCheckAck,
+                   done.newBase, done.aux);
+        releaseBase(done.newBase);
+    } else {
+        sendToCore(done.requestor, MsgType::FilterInvalDone, 0,
+                   done.aux);
+    }
+}
+
+void
+FilterDirSlice::sendToCore(CoreId c, MsgType t, Addr addr,
+                           std::uint64_t aux, bool has_data,
+                           std::uint64_t value)
+{
+    Message m;
+    m.type = t;
+    m.addr = addr;
+    m.requestor = c;
+    m.aux = aux;
+    m.cls = TrafficClass::CohProt;
+    if (has_data) {
+        m.hasData = true;
+        m.data.write64(0, value);
+    }
+    net.send(tile, Endpoint::Coh, c, m, TrafficClass::CohProt);
+}
+
+} // namespace spmcoh

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ideal-coherence oracle: the zero-cost baseline of Fig. 7.
+ *
+ * The paper compares the proposed protocol against "an ideal
+ * coherence protocol that diverts guarded accesses to the correct
+ * copy of the data without the need of SPMDirs, filters, the
+ * filterDir nor any traffic to maintain them". The oracle is a
+ * magically-global map of mapped chunks consulted for free.
+ */
+
+#ifndef SPMCOH_COHERENCE_ORACLE_HH
+#define SPMCOH_COHERENCE_ORACLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Global, cost-free view of every SPM mapping. */
+class Oracle
+{
+  public:
+    struct Mapping
+    {
+        CoreId core;
+        std::uint32_t bufferIdx;
+    };
+
+    void
+    map(Addr gm_base, CoreId core, std::uint32_t idx)
+    {
+        mappings[gm_base] = Mapping{core, idx};
+    }
+
+    void
+    unmap(Addr gm_base)
+    {
+        mappings.erase(gm_base);
+    }
+
+    std::optional<Mapping>
+    lookup(Addr gm_base) const
+    {
+        auto it = mappings.find(gm_base);
+        if (it == mappings.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    void clear() { mappings.clear(); }
+    std::size_t size() const { return mappings.size(); }
+
+  private:
+    std::unordered_map<Addr, Mapping> mappings;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_COHERENCE_ORACLE_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SPMDir: per-core directory of chunks mapped to the local SPM
+ * (Sec. 3.1; Table 1: 32 entries).
+ *
+ * Implemented as the paper describes: a CAM of GM base addresses
+ * where the entry index *is* the SPM buffer number, so a hit directly
+ * yields the SPM buffer base without a RAM array.
+ */
+
+#ifndef SPMCOH_COHERENCE_SPMDIR_HH
+#define SPMCOH_COHERENCE_SPMDIR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/Logging.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Per-core SPM mapping directory. */
+class SpmDir
+{
+  public:
+    explicit SpmDir(std::uint32_t entries_ = 32)
+        : valid(entries_, false), bases(entries_, 0)
+    {}
+
+    std::uint32_t entries() const
+    { return static_cast<std::uint32_t>(valid.size()); }
+
+    /**
+     * CAM lookup by GM base address.
+     * @return the SPM buffer index (== entry index) on hit
+     */
+    std::optional<std::uint32_t>
+    lookup(Addr gm_base) const
+    {
+        for (std::uint32_t i = 0; i < valid.size(); ++i)
+            if (valid[i] && bases[i] == gm_base)
+                return i;
+        return std::nullopt;
+    }
+
+    /** Record that buffer @p idx now holds the chunk at @p gm_base. */
+    void
+    map(std::uint32_t idx, Addr gm_base)
+    {
+        if (idx >= valid.size())
+            panic("SpmDir: buffer index out of range");
+        valid[idx] = true;
+        bases[idx] = gm_base;
+    }
+
+    /** Drop the mapping of buffer @p idx. */
+    void
+    unmap(std::uint32_t idx)
+    {
+        if (idx >= valid.size())
+            panic("SpmDir: buffer index out of range");
+        valid[idx] = false;
+    }
+
+    /** Drop every mapping (loop epilogue / context switch). */
+    void
+    clear()
+    {
+        std::fill(valid.begin(), valid.end(), false);
+    }
+
+    /** Currently mapped base of buffer @p idx, if any. */
+    std::optional<Addr>
+    baseOf(std::uint32_t idx) const
+    {
+        if (idx < valid.size() && valid[idx])
+            return bases[idx];
+        return std::nullopt;
+    }
+
+  private:
+    std::vector<bool> valid;
+    std::vector<Addr> bases;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_COHERENCE_SPMDIR_HH

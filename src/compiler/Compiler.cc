@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Compiler pass implementation.
+ */
+
+#include "compiler/Compiler.hh"
+
+namespace spmcoh
+{
+
+namespace
+{
+
+const ArrayDecl &
+arrayOf(const ProgramDecl &prog, std::uint32_t id)
+{
+    for (const ArrayDecl &a : prog.arrays)
+        if (a.id == id)
+            return a;
+    fatal("Compiler: reference to undeclared array");
+}
+
+} // namespace
+
+KernelPlan
+Compiler::compileKernel(const ProgramDecl &prog,
+                        const KernelDecl &k) const
+{
+    KernelPlan plan;
+    plan.decl = k;
+
+    // Pass 1: identify SPM candidates -- strided traversals of
+    // thread-private array sections (Sec. 2.2).
+    std::vector<std::uint32_t> spm_arrays;
+    for (const MemRefDecl &r : k.refs) {
+        if (r.pattern == AccessPattern::Strided &&
+            arrayOf(prog, r.arrayId).threadPrivateSection) {
+            bool seen = false;
+            for (std::uint32_t id : spm_arrays)
+                seen = seen || id == r.arrayId;
+            if (!seen)
+                spm_arrays.push_back(r.arrayId);
+        }
+    }
+
+    // Pass 2: classify every reference (Sec. 2.4).
+    std::int64_t max_stride = 8;
+    for (const MemRefDecl &r : k.refs) {
+        ClassifiedRef c;
+        c.decl = r;
+        if (r.pattern == AccessPattern::Stack) {
+            c.cls = RefClass::Stack;
+            c.alias = AliasVerdict::NoAlias;
+        } else if (r.pattern == AccessPattern::Strided &&
+                   arrayOf(prog, r.arrayId).threadPrivateSection) {
+            c.cls = RefClass::Spm;
+            c.bufferIdx = plan.numSpmRefs++;
+            const std::int64_t s =
+                r.strideBytes < 0 ? -r.strideBytes : r.strideBytes;
+            if (s > max_stride)
+                max_stride = s;
+        } else {
+            c.alias = analyzeAlias(r, spm_arrays);
+            if (c.alias == AliasVerdict::NoAlias) {
+                c.cls = RefClass::Gm;
+            } else {
+                // Unknown or certain aliasing: guarded instruction.
+                c.cls = RefClass::Guarded;
+                ++plan.numGuardedRefs;
+            }
+        }
+        plan.refs.push_back(c);
+    }
+
+    // Pass 3: tiling. The runtime divides the SPM into equally-sized
+    // power-of-two buffers, one per SPM reference (Sec. 2.2 / 3.1).
+    if (plan.numSpmRefs > 0) {
+        std::uint32_t per_buf = spmBytes / plan.numSpmRefs;
+        // Cap by the smallest per-thread section so chunks tile the
+        // sections exactly and stay buffer-aligned.
+        for (const ClassifiedRef &r : plan.refs) {
+            if (r.cls != RefClass::Spm)
+                continue;
+            const std::uint64_t section =
+                arrayOf(prog, r.decl.arrayId).bytes / numCores;
+            if (section < lineBytes)
+                fatal("Compiler: SPM array section below a line");
+            if (section < per_buf)
+                per_buf = static_cast<std::uint32_t>(section);
+        }
+        std::uint32_t log2 = lineShift;
+        while ((1u << (log2 + 1)) <= per_buf)
+            ++log2;
+        plan.bufLog2 = log2;
+        plan.chunkIters = (std::uint64_t(1) << log2) /
+            static_cast<std::uint64_t>(max_stride);
+        if (plan.chunkIters == 0)
+            fatal("Compiler: stride larger than the SPM buffer");
+    }
+    return plan;
+}
+
+} // namespace spmcoh

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Loop-nest intermediate representation.
+ *
+ * This is the information a compiler front end extracts from an
+ * OpenMP-style parallel loop before the hybrid-memory code
+ * transformation of Sec. 2.2: the arrays, how each memory reference
+ * walks them, whether the reference is pointer-based (and therefore
+ * opaque to alias analysis), and the loop shape.
+ */
+
+#ifndef SPMCOH_COMPILER_LOOPIR_HH
+#define SPMCOH_COMPILER_LOOPIR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Static access pattern of a memory reference. */
+enum class AccessPattern : std::uint8_t
+{
+    Strided,     ///< a[i]: predictable, SPM candidate (Sec. 2.2)
+    Indirect,    ///< a[idx[i]]: random, target known statically
+    PointerChase,///< *ptr: random, target unknown to the compiler
+    Stack,       ///< spilled scalars; always cached
+};
+
+/** One array (or array section) in the loop. */
+struct ArrayDecl
+{
+    std::uint32_t id = 0;
+    std::string name;
+    std::uint64_t bytes = 0;
+    std::uint32_t elemBytes = 8;
+    /**
+     * True when the parallelization analysis proved each thread
+     * traverses a private section of the array (Sec. 2.2), which is
+     * a precondition for mapping it to the SPMs.
+     */
+    bool threadPrivateSection = false;
+};
+
+/** One static memory reference in the loop body. */
+struct MemRefDecl
+{
+    std::uint32_t id = 0;
+    std::uint32_t arrayId = 0;
+    AccessPattern pattern = AccessPattern::Strided;
+    std::int64_t strideBytes = 8;  ///< Strided only
+    bool isWrite = false;
+    /** Random patterns: fraction of accesses hitting the hot set. */
+    double hotFraction = 0.8;
+    /** Random patterns: hot-set size in bytes. */
+    std::uint64_t hotBytes = 4096;
+    /** Accesses per loop iteration. */
+    std::uint32_t accessesPerIter = 1;
+    /**
+     * True when the reference reaches the array through a pointer the
+     * compiler cannot resolve; such references defeat alias analysis
+     * and become potentially incoherent accesses (Sec. 2.4).
+     */
+    bool pointerBased = false;
+};
+
+/** One parallel kernel (computational loop). */
+struct KernelDecl
+{
+    std::uint32_t id = 0;
+    std::string name;
+    std::vector<MemRefDecl> refs;
+    /** Total iterations, statically split across threads. */
+    std::uint64_t iterations = 0;
+    /** Non-memory instructions per iteration. */
+    std::uint32_t instrsPerIter = 12;
+    /** Kernel code footprint in bytes (I-cache behaviour). */
+    std::uint32_t codeBytes = 2048;
+};
+
+/** A benchmark: kernels executed in sequence, repeated. */
+struct ProgramDecl
+{
+    std::string name;
+    std::vector<ArrayDecl> arrays;
+    std::vector<KernelDecl> kernels;
+    std::uint32_t timesteps = 1;
+    std::uint64_t seed = 1;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_COMPILER_LOOPIR_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Out-of-order core timing model (Table 1: 6-wide OoO, ROB 160,
+ * LQ/SQ 48/32, 3 Ld/St units, 13-cycle pipeline).
+ *
+ * The model is a windowed MLP simulator: the core consumes its op
+ * stream in program order, completing cache/SPM hits inline (their
+ * latency is hidden by the OoO engine) and issuing misses
+ * asynchronously. It keeps running past outstanding misses until a
+ * structural limit binds -- ROB reach (160 instructions past the
+ * oldest incomplete memory op), LQ/SQ occupancy, or MSHRs -- which
+ * reproduces the memory-level-parallelism behaviour that drives the
+ * paper's evaluation. Store-to-load forwarding covers in-window RAW
+ * dependences.
+ *
+ * Sec. 3.4 consistency support: a guarded access that diverts to the
+ * SPM re-checks the LSQ with its new address after a short resolve
+ * delay; a younger SPM access to the same address with a store
+ * involved flushes the 13-stage pipeline.
+ */
+
+#ifndef SPMCOH_CPU_COREMODEL_HH
+#define SPMCOH_CPU_COREMODEL_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "coherence/CohController.hh"
+#include "cpu/MicroOp.hh"
+#include "mem/L1Cache.hh"
+#include "mem/Tlb.hh"
+#include "spm/AddressMap.hh"
+#include "spm/Dmac.hh"
+#include "spm/Spm.hh"
+#include "sim/Stats.hh"
+
+namespace spmcoh
+{
+
+/** System memory organization the core runs against. */
+enum class SystemMode : std::uint8_t
+{
+    CacheOnly,    ///< baseline cache-based system (Sec. 5.4)
+    HybridIdeal,  ///< hybrid memory, ideal coherence (Fig. 7 base)
+    HybridProto,  ///< hybrid memory, proposed coherence protocol
+};
+
+/** Core configuration (Table 1 defaults). */
+struct CoreParams
+{
+    std::uint32_t issueWidth = 6;
+    std::uint32_t robEntries = 160;
+    std::uint32_t lqEntries = 48;
+    std::uint32_t sqEntries = 32;
+    std::uint32_t lsUnits = 3;
+    Tick flushPenalty = 13;     ///< pipeline depth (squash cost)
+    Tick divertResolveDelay = 3; ///< guarded address late-resolve
+    Tick codeFetchInterval = 2; ///< pacing of Ifetch footprint walks
+};
+
+/** One core's timing model. */
+class CoreModel
+{
+  public:
+    CoreModel(MemNet &net_, L1Cache &l1d_, L1Cache &l1i_, Tlb &tlb_,
+              Spm &spm_, Dmac &dmac_, CohController &coh_,
+              const AddressMap &amap_, CoreId core_, SystemMode mode_,
+              const CoreParams &p_, const std::string &name);
+
+    /** Install the barrier hook (id, on-release callback). */
+    void
+    setBarrierHook(
+        std::function<void(std::uint32_t, std::function<void()>)> f)
+    {
+        barrierArrive = std::move(f);
+    }
+
+    /** Invoked when the op stream ends. */
+    void setFinishedCallback(std::function<void()> cb)
+    { finishedCb = std::move(cb); }
+
+    /** Begin executing @p src (schedules the first run). */
+    void start(OpSource *src);
+
+    bool finished() const { return done; }
+    Tick finishTick() const { return finishedAt; }
+
+    /** Cycles spent per phase (Fig. 9 breakdown). */
+    std::uint64_t
+    phaseCycles(ExecPhase ph) const
+    {
+        return phaseCyc[static_cast<std::size_t>(ph)];
+    }
+
+    StatGroup &statGroup() { return stats; }
+    const StatGroup &statGroup() const { return stats; }
+
+  private:
+    struct WindowEntry
+    {
+        std::uint64_t seq;
+        std::uint64_t instrNo;
+        bool isLoad;
+        bool done;
+    };
+
+    struct StoreFwdEntry
+    {
+        std::uint64_t seq;
+        Addr addr;
+        std::uint8_t size;
+        std::uint64_t value;
+    };
+
+    struct PendingDivert
+    {
+        Tick resolveAt;
+        Addr spmAddr;
+        bool isWrite;
+    };
+
+    /** Async-issue flavor of the currently probed op. */
+    enum class Flavor : std::uint8_t { GmMiss, Guarded, RemoteSpm };
+
+    void run();
+    void wake();
+    void scheduleRunAt(Tick t);
+    void advance(Tick cycles);
+    void chargeLsuSlot();
+    bool windowBlocked();
+    void retireCompleted();
+
+    /** @return true if the op finished (inline); false if waiting. */
+    bool execLoadStore(bool &need_return);
+    bool gmPath(bool &need_return);
+    bool spmLocal(Addr a);
+    bool guardedPath(bool &need_return, bool &fall_to_gm);
+
+    /** @return false when no MSHR was available (retry later). */
+    bool issueAsyncGm();
+    void issueAsyncGuarded();
+    void issueAsyncRemoteSpm();
+
+    std::uint64_t allocWindow(bool is_load);
+    void onMemComplete(std::uint64_t seq, std::uint64_t value);
+    std::optional<std::uint64_t> forwardLoad(Addr a, std::uint8_t sz);
+
+    void writeThroughL1(Addr gm_addr, std::uint8_t size,
+                        std::uint64_t wdata);
+    void drainDeferred();
+
+    void recordDivert(Addr spm_addr, bool is_write);
+    void checkSquash(Addr spm_addr, bool is_write);
+    std::uint64_t storeValue() const;
+
+    void startCodeFetch(Addr addr, std::uint32_t bytes);
+    void codeFetchStep(Addr cur, Addr end);
+
+    void finish();
+
+    MemNet &net;
+    L1Cache &l1d;
+    L1Cache &l1i;
+    Tlb &tlb;
+    Spm &spm;
+    Dmac &dmac;
+    CohController &coh;
+    const AddressMap &amap;
+    CoreId core;
+    SystemMode mode;
+    CoreParams p;
+
+    OpSource *source = nullptr;
+    MicroOp cur;
+    bool haveCur = false;
+    bool probed = false;      ///< cur already probed; ready to issue
+    Flavor pendingFlavor = Flavor::GmMiss;
+    bool barrierDone = false;
+
+    Tick localTick = 0;
+    Tick memCycleTick = 0;
+    std::uint32_t memThisCycle = 0;
+    std::uint64_t instrCount = 0;
+    bool runScheduled = false;
+    bool done = false;
+    Tick finishedAt = 0;
+
+    std::deque<WindowEntry> window;
+    std::uint32_t pendingLoads = 0;
+    std::uint32_t pendingStores = 0;
+    std::uint64_t nextSeq = 1;
+    std::vector<StoreFwdEntry> storeFwd;
+    std::vector<PendingDivert> diverts;
+    std::deque<std::function<bool()>> deferredL1;
+
+    ExecPhase curPhase = ExecPhase::Work;
+    std::uint64_t phaseCyc[numExecPhases] = {0, 0, 0};
+
+    std::function<void(std::uint32_t, std::function<void()>)>
+        barrierArrive;
+    std::function<void()> finishedCb;
+    StatGroup stats;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_CPU_COREMODEL_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Generic set-associative, data-carrying cache array with tree
+ * pseudo-LRU replacement (Table 1: all caches pseudoLRU).
+ *
+ * The array stores tags, per-line payload of type LineT, and exposes
+ * lookup / insert-with-victim / invalidate. Coherence state lives in
+ * LineT so the same array backs L1s, the L2 slices and the directory.
+ */
+
+#ifndef SPMCOH_MEM_CACHEARRAY_HH
+#define SPMCOH_MEM_CACHEARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/Logging.hh"
+#include "sim/PseudoLru.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/**
+ * Set-associative array of LineT indexed by line address.
+ * @tparam LineT per-line payload (must be default constructible)
+ */
+template <typename LineT>
+class CacheArray
+{
+  public:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;       ///< full line address (simplifies checks)
+        LineT line{};
+    };
+
+    /**
+     * @param num_sets number of sets (power of two, or 1 for FA)
+     * @param num_ways associativity
+     * @param index_shift low address bits skipped by the set index;
+     *        slice-interleaved structures (NUCA L2, directory) must
+     *        skip the slice-selection bits too or they use only
+     *        1/num_slices of their sets
+     */
+    CacheArray(std::uint32_t num_sets, std::uint32_t num_ways,
+               std::uint32_t index_shift = lineShift)
+        : sets(num_sets), ways(num_ways), indexShift(index_shift),
+          arr(static_cast<std::size_t>(num_sets) * num_ways),
+          lru(num_sets, PseudoLru(num_ways))
+    {
+        if (!isPow2(num_sets))
+            fatal("CacheArray: sets must be a power of two");
+    }
+
+    std::uint32_t numSets() const { return sets; }
+    std::uint32_t numWays() const { return ways; }
+    std::uint64_t capacityLines() const
+    { return static_cast<std::uint64_t>(sets) * ways; }
+
+    std::uint32_t
+    setIndex(Addr line_addr) const
+    {
+        return static_cast<std::uint32_t>(
+            (line_addr >> indexShift) & (sets - 1));
+    }
+
+    /** Find a line; returns payload pointer or nullptr. Updates LRU. */
+    LineT *
+    lookup(Addr line_addr)
+    {
+        line_addr = lineAlign(line_addr);
+        const std::uint32_t s = setIndex(line_addr);
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            Way &way = at(s, w);
+            if (way.valid && way.tag == line_addr) {
+                lru[s].touch(w);
+                return &way.line;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Find a line without touching replacement state. */
+    const LineT *
+    peek(Addr line_addr) const
+    {
+        line_addr = lineAlign(line_addr);
+        const std::uint32_t s = setIndex(line_addr);
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            const Way &way = at(s, w);
+            if (way.valid && way.tag == line_addr)
+                return &way.line;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert a line, evicting the pseudo-LRU victim if the set is
+     * full. @return the evicted (addr, payload) if any.
+     * @pre the line is not already present.
+     */
+    std::optional<std::pair<Addr, LineT>>
+    insert(Addr line_addr, LineT line)
+    {
+        line_addr = lineAlign(line_addr);
+        const std::uint32_t s = setIndex(line_addr);
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            Way &way = at(s, w);
+            if (!way.valid) {
+                way.valid = true;
+                way.tag = line_addr;
+                way.line = std::move(line);
+                lru[s].touch(w);
+                return std::nullopt;
+            }
+        }
+        const std::uint32_t v = lru[s].victim();
+        Way &way = at(s, v);
+        std::pair<Addr, LineT> evicted{way.tag, std::move(way.line)};
+        way.tag = line_addr;
+        way.line = std::move(line);
+        lru[s].touch(v);
+        return evicted;
+    }
+
+    /** Remove a line if present; returns its payload. */
+    std::optional<LineT>
+    invalidate(Addr line_addr)
+    {
+        line_addr = lineAlign(line_addr);
+        const std::uint32_t s = setIndex(line_addr);
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            Way &way = at(s, w);
+            if (way.valid && way.tag == line_addr) {
+                way.valid = false;
+                return std::move(way.line);
+            }
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Pick a way for @p line_addr: an invalid way if one exists,
+     * otherwise the pseudo-LRU victim if @p can_evict accepts its
+     * address, otherwise any way whose occupant @p can_evict accepts.
+     * @return way index, or nullopt if every occupant is pinned
+     */
+    template <typename Pred>
+    std::optional<std::uint32_t>
+    allocWay(Addr line_addr, Pred &&can_evict) const
+    {
+        const std::uint32_t s = setIndex(lineAlign(line_addr));
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (!at(s, w).valid)
+                return w;
+        const std::uint32_t v = lru[s].victim();
+        if (can_evict(at(s, v).tag))
+            return v;
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (can_evict(at(s, w).tag))
+                return w;
+        return std::nullopt;
+    }
+
+    /** Address currently occupying (set of @p line_addr, @p way). */
+    std::optional<Addr>
+    occupant(Addr line_addr, std::uint32_t way) const
+    {
+        const Way &w = at(setIndex(lineAlign(line_addr)), way);
+        return w.valid ? std::optional<Addr>(w.tag) : std::nullopt;
+    }
+
+    /** Install @p line into @p way, replacing any occupant. */
+    void
+    fillWay(Addr line_addr, std::uint32_t way, LineT line)
+    {
+        line_addr = lineAlign(line_addr);
+        const std::uint32_t s = setIndex(line_addr);
+        Way &w = at(s, way);
+        w.valid = true;
+        w.tag = line_addr;
+        w.line = std::move(line);
+        lru[s].touch(way);
+    }
+
+    /** Count of valid lines (tests / occupancy stats). */
+    std::uint64_t
+    validLines() const
+    {
+        std::uint64_t n = 0;
+        for (const Way &w : arr)
+            if (w.valid)
+                ++n;
+        return n;
+    }
+
+    /** Visit every valid line (tests / invariant checks). */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (const Way &w : arr)
+            if (w.valid)
+                f(w.tag, w.line);
+    }
+
+  private:
+    Way &at(std::uint32_t s, std::uint32_t w)
+    { return arr[static_cast<std::size_t>(s) * ways + w]; }
+    const Way &at(std::uint32_t s, std::uint32_t w) const
+    { return arr[static_cast<std::size_t>(s) * ways + w]; }
+
+    std::uint32_t sets;
+    std::uint32_t ways;
+    std::uint32_t indexShift;
+    std::vector<Way> arr;
+    std::vector<PseudoLru> lru;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_MEM_CACHEARRAY_HH

@@ -1,0 +1,649 @@
+/**
+ * @file
+ * Directory slice implementation: blocking MOESI state machine.
+ */
+
+#include "mem/DirectorySlice.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace spmcoh
+{
+
+DirectorySlice::DirectorySlice(MemNet &net_, CoreId tile_,
+                               const DirSliceParams &p_,
+                               const std::string &name)
+    : net(net_), tile(tile_), p(p_),
+      l2(p_.l2SizeBytes / lineBytes / p_.l2Ways, p_.l2Ways,
+         lineShift + log2i(net_.cores())),
+      dir(p_.dirEntries / p_.dirWays, p_.dirWays,
+          lineShift + log2i(net_.cores())),
+      stats(name)
+{
+}
+
+std::optional<DirectorySlice::EntrySnapshot>
+DirectorySlice::peekEntry(Addr line_addr) const
+{
+    const DirEntry *de = dir.peek(line_addr);
+    if (!de)
+        return std::nullopt;
+    return EntrySnapshot{de->state, de->owner, de->sharers};
+}
+
+static const char *trace_env = std::getenv("SPMCOH_TRACE_LINE");
+static const unsigned long long trace_line =
+    trace_env ? std::stoull(trace_env, nullptr, 0) : 0;
+
+void
+DirectorySlice::handle(const Message &msg)
+{
+    const Addr la = lineAlign(msg.addr);
+    if (trace_line && la == trace_line)
+        std::fprintf(stderr, "[dir%u t%llu] msg type=%d src=%u req=%u hasData=%d dirty=%d\n",
+            tile, (unsigned long long)net.events().now(), int(msg.type), msg.src, msg.requestor, msg.hasData, msg.dirty);
+    switch (msg.type) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::PutM:
+      case MsgType::PutS:
+      case MsgType::PutE:
+      case MsgType::IfetchGet:
+      case MsgType::DmaRead:
+      case MsgType::DmaWrite:
+        if (auto it = busy.find(la); it != busy.end()) {
+            it->second.queued.push_back(msg);
+            ++stats.counter("queuedRequests");
+        } else {
+            startTxn(msg);
+        }
+        break;
+      case MsgType::InvAck:
+      case MsgType::InvAckData:
+        onAck(msg);
+        break;
+      case MsgType::FwdAckData:
+        onFwdData(msg);
+        break;
+      case MsgType::MemReadResp:
+        onMemResp(msg);
+        break;
+      case MsgType::MemWriteAck: {
+        ++stats.counter("memWriteAcks");
+        auto it = memWb.find(la);
+        if (it == memWb.end())
+            panic("DirectorySlice: stray MemWriteAck");
+        if (--it->second.second == 0)
+            memWb.erase(it);
+        break;
+      }
+      case MsgType::Unblock:
+        onUnblock(msg);
+        break;
+      default:
+        panic("DirectorySlice: unexpected message");
+    }
+}
+
+void
+DirectorySlice::startTxn(const Message &req)
+{
+    const Addr la = lineAlign(req.addr);
+    Txn t;
+    t.req = req;
+    busy.emplace(la, std::move(t));
+    net.events().scheduleIn(p.dirLatency, [this, la] { dispatch(la); });
+}
+
+void
+DirectorySlice::dispatch(Addr la)
+{
+    Txn &t = busy.at(la);
+    switch (t.req.type) {
+      case MsgType::GetS:      handleGetS(la, t); break;
+      case MsgType::GetX:      handleGetX(la, t); break;
+      case MsgType::PutM:      handlePutM(la, t); break;
+      case MsgType::PutS:
+      case MsgType::PutE:      handlePutShared(la, t); break;
+      case MsgType::IfetchGet: handleIfetch(la, t); break;
+      case MsgType::DmaRead:   handleDmaRead(la, t); break;
+      case MsgType::DmaWrite:  handleDmaWrite(la, t); break;
+      default:
+        panic("DirectorySlice: bad transaction request");
+    }
+}
+
+void
+DirectorySlice::handleGetS(Addr la, Txn &t)
+{
+    ++stats.counter("getS");
+    const CoreId r = t.req.requestor;
+    const TrafficClass cls = t.req.cls;
+    DirEntry *de = dir.lookup(la);
+
+    if (de && (de->state == DirState::Excl ||
+               de->state == DirState::Owned)) {
+        // Freshest copy is at the owner: forward.
+        ++stats.counter("fwdGetS");
+        Message f;
+        f.type = MsgType::FwdGetS;
+        f.addr = la;
+        f.requestor = r;
+        f.cls = cls;
+        net.send(tile, Endpoint::L1D, de->owner, f, cls);
+        t.wantData = true;
+        t.onComplete = [this, la, r, cls] {
+            Txn &tx = busy.at(la);
+            DirEntry *e = dir.lookup(la);
+            if (!e)
+                panic("DirectorySlice: entry vanished during GetS");
+            if (tx.dataDirty) {
+                // Owner keeps the dirty line: Excl -> Owned.
+                e->state = DirState::Owned;
+                e->sharers |= bit(r);
+            } else if (e->state == DirState::Excl) {
+                // Owner was clean (E -> S); L2 caches the data.
+                e->sharers = bit(e->owner) | bit(r);
+                e->owner = invalidCore;
+                e->state = DirState::Shared;
+                l2Insert(la, tx.data, false);
+            } else {
+                e->sharers |= bit(r);
+            }
+            respond(r, Endpoint::L1D, MsgType::DataS, la, &tx.data,
+                    cls);
+            tx.awaitingUnblock = true;
+        };
+        return;
+    }
+
+    if (de) {
+        // Shared: L2/memory data is valid.
+        de->sharers |= bit(r);
+        t.onComplete = [this, la, r, cls] {
+            Txn &tx = busy.at(la);
+            respond(r, Endpoint::L1D, MsgType::DataS, la, &tx.data,
+                    cls);
+            tx.awaitingUnblock = true;
+        };
+        fetchData(la, cls);
+        return;
+    }
+
+    // Untracked line: grant Exclusive.
+    DirEntry ne;
+    ne.state = DirState::Excl;
+    ne.owner = r;
+    if (!allocEntry(la, ne)) {
+        ++stats.counter("allocRetries");
+        net.events().scheduleIn(p.retryDelay,
+                                [this, la] { dispatch(la); });
+        return;
+    }
+    t.onComplete = [this, la, r, cls] {
+        Txn &tx = busy.at(la);
+        respond(r, Endpoint::L1D, MsgType::DataE, la, &tx.data, cls);
+        tx.awaitingUnblock = true;
+    };
+    fetchData(la, cls);
+}
+
+void
+DirectorySlice::handleGetX(Addr la, Txn &t)
+{
+    ++stats.counter("getX");
+    const CoreId r = t.req.requestor;
+    const TrafficClass cls = t.req.cls;
+    DirEntry *de = dir.lookup(la);
+
+    if (!de) {
+        DirEntry ne;
+        ne.state = DirState::Excl;
+        ne.owner = r;
+        if (!allocEntry(la, ne)) {
+            ++stats.counter("allocRetries");
+            net.events().scheduleIn(p.retryDelay,
+                                    [this, la] { dispatch(la); });
+            return;
+        }
+        t.onComplete = [this, la, r, cls] {
+            Txn &tx = busy.at(la);
+            respond(r, Endpoint::L1D, MsgType::DataM, la, &tx.data,
+                    cls);
+            tx.awaitingUnblock = true;
+        };
+        fetchData(la, cls);
+        return;
+    }
+
+    if (de->state == DirState::Excl) {
+        if (de->owner == r)
+            panic("DirectorySlice: GetX from exclusive owner: addr " +
+                  std::to_string(la) + " core " + std::to_string(r));
+        ++stats.counter("fwdGetX");
+        Message f;
+        f.type = MsgType::FwdGetX;
+        f.addr = la;
+        f.requestor = r;
+        f.cls = cls;
+        net.send(tile, Endpoint::L1D, de->owner, f, cls);
+        t.wantData = true;
+        t.onComplete = [this, la, r, cls] {
+            Txn &tx = busy.at(la);
+            DirEntry *e = dir.lookup(la);
+            e->state = DirState::Excl;
+            e->owner = r;
+            e->sharers = 0;
+            respond(r, Endpoint::L1D, MsgType::DataM, la, &tx.data,
+                    cls);
+            tx.awaitingUnblock = true;
+        };
+        return;
+    }
+
+    // Shared or Owned: invalidate everyone except the requestor.
+    std::uint64_t targets = de->sharers;
+    if (de->owner != invalidCore)
+        targets |= bit(de->owner);
+    targets &= ~bit(r);
+    const bool owner_supplies =
+        de->state == DirState::Owned && de->owner != r &&
+        de->owner != invalidCore;
+    for (CoreId c = 0; targets != 0; ++c, targets >>= 1) {
+        if (targets & 1) {
+            sendInv(c, la, r, TrafficClass::WbRepl);
+            ++t.pendingAcks;
+        }
+    }
+    if (t.req.hasData && t.req.dirty) {
+        // Upgrade from O shipped the dirty line with the request.
+        t.data = t.req.data;
+        t.haveData = true;
+        t.wantData = true;
+    } else if (owner_supplies) {
+        t.wantData = true;   // dirty data arrives via InvAckData
+    } else {
+        fetchData(la, cls);
+    }
+    t.onComplete = [this, la, r, cls] {
+        Txn &tx = busy.at(la);
+        DirEntry *e = dir.lookup(la);
+        e->state = DirState::Excl;
+        e->owner = r;
+        e->sharers = 0;
+        respond(r, Endpoint::L1D, MsgType::DataM, la, &tx.data, cls);
+        tx.awaitingUnblock = true;
+    };
+    checkDone(la);
+    return;
+}
+
+void
+DirectorySlice::handlePutM(Addr la, Txn &t)
+{
+    ++stats.counter("putM");
+    const CoreId r = t.req.requestor;
+    DirEntry *de = dir.lookup(la);
+    if (de && de->owner == r &&
+        (de->state == DirState::Excl || de->state == DirState::Owned)) {
+        l2Insert(la, t.req.data, true);
+        if (de->state == DirState::Owned && de->sharers != 0) {
+            de->state = DirState::Shared;
+            de->owner = invalidCore;
+        } else {
+            dir.invalidate(la);
+        }
+    } else {
+        ++stats.counter("stalePuts");
+    }
+    respond(r, Endpoint::L1D, MsgType::PutAck, la, nullptr,
+            TrafficClass::WbRepl);
+    finishTxn(la);
+}
+
+void
+DirectorySlice::handlePutShared(Addr la, Txn &t)
+{
+    ++stats.counter(t.req.type == MsgType::PutE ? "putE" : "putS");
+    const CoreId r = t.req.requestor;
+    DirEntry *de = dir.lookup(la);
+    if (de) {
+        if (t.req.type == MsgType::PutE) {
+            if (de->state == DirState::Excl && de->owner == r)
+                dir.invalidate(la);
+        } else {
+            de->sharers &= ~bit(r);
+            if (de->owner == invalidCore && de->sharers == 0)
+                dir.invalidate(la);
+        }
+    } else {
+        ++stats.counter("stalePuts");
+    }
+    respond(r, Endpoint::L1D, MsgType::PutAck, la, nullptr,
+            TrafficClass::WbRepl);
+    finishTxn(la);
+}
+
+void
+DirectorySlice::handleIfetch(Addr la, Txn &t)
+{
+    ++stats.counter("ifetch");
+    const CoreId r = t.req.requestor;
+    t.onComplete = [this, la, r] {
+        Txn &tx = busy.at(la);
+        respond(r, Endpoint::L1I, MsgType::DataS, la, &tx.data,
+                TrafficClass::Ifetch);
+        tx.awaitingUnblock = true;
+    };
+    fetchData(la, TrafficClass::Ifetch);
+}
+
+void
+DirectorySlice::handleDmaRead(Addr la, Txn &t)
+{
+    ++stats.counter("dmaRead");
+    const CoreId r = t.req.requestor;
+    const std::uint64_t tag = t.req.aux;
+    DirEntry *de = dir.lookup(la);
+    t.onComplete = [this, la, r, tag] {
+        Txn &tx = busy.at(la);
+        respond(r, Endpoint::Dmac, MsgType::DmaReadResp, la, &tx.data,
+                TrafficClass::Dma, tag);
+        finishTxn(la);
+    };
+    if (de && de->owner != invalidCore &&
+        (de->state == DirState::Excl || de->state == DirState::Owned)) {
+        // Snapshot the freshest copy without disturbing the owner.
+        Message f;
+        f.type = MsgType::FwdDmaRead;
+        f.addr = la;
+        f.requestor = r;
+        f.cls = TrafficClass::Dma;
+        net.send(tile, Endpoint::L1D, de->owner, f, TrafficClass::Dma);
+        t.wantData = true;
+    } else {
+        fetchData(la, TrafficClass::Dma);
+    }
+}
+
+void
+DirectorySlice::handleDmaWrite(Addr la, Txn &t)
+{
+    ++stats.counter("dmaWrite");
+    const CoreId r = t.req.requestor;
+    const std::uint64_t tag = t.req.aux;
+    DirEntry *de = dir.lookup(la);
+    if (de) {
+        std::uint64_t targets = de->sharers;
+        if (de->owner != invalidCore)
+            targets |= bit(de->owner);
+        for (CoreId c = 0; targets != 0; ++c, targets >>= 1) {
+            if (targets & 1) {
+                sendInv(c, la, r, TrafficClass::WbRepl);
+                ++t.pendingAcks;
+            }
+        }
+        dir.invalidate(la);
+    }
+    l2.invalidate(la);
+    t.onComplete = [this, la, r, tag] {
+        Txn &tx = busy.at(la);
+        // The whole line is overwritten; cached dirty data (if any
+        // arrived via InvAckData) is dead.
+        Message w;
+        w.type = MsgType::MemWrite;
+        w.addr = la;
+        w.requestor = tile;
+        w.hasData = true;
+        w.data = tx.req.data;
+        w.cls = TrafficClass::Dma;
+        auto &wb = memWb[la];
+        wb.first = tx.req.data;
+        ++wb.second;
+        net.send(tile, Endpoint::MemCtrl, net.nearestMemCtrl(tile), w,
+                 TrafficClass::Dma);
+        respond(r, Endpoint::Dmac, MsgType::DmaWriteAck, la, nullptr,
+                TrafficClass::Dma, tag);
+        finishTxn(la);
+    };
+    checkDone(la);
+}
+
+void
+DirectorySlice::onAck(const Message &msg)
+{
+    const Addr la = lineAlign(msg.addr);
+    auto it = busy.find(la);
+    if (it == busy.end())
+        panic("DirectorySlice: ack for idle line");
+    Txn &t = it->second;
+    if (t.pendingAcks == 0)
+        panic("DirectorySlice: unexpected ack");
+    --t.pendingAcks;
+    if (msg.type == MsgType::InvAckData) {
+        t.data = msg.data;
+        t.haveData = true;
+        t.dataDirty = true;
+    }
+    checkDone(la);
+}
+
+void
+DirectorySlice::onFwdData(const Message &msg)
+{
+    const Addr la = lineAlign(msg.addr);
+    auto it = busy.find(la);
+    if (it == busy.end())
+        panic("DirectorySlice: forward data for idle line");
+    Txn &t = it->second;
+    t.data = msg.data;
+    t.haveData = true;
+    t.dataDirty = msg.dirty;
+    checkDone(la);
+}
+
+void
+DirectorySlice::onMemResp(const Message &msg)
+{
+    const Addr la = lineAlign(msg.addr);
+    auto it = busy.find(la);
+    if (it == busy.end())
+        panic("DirectorySlice: memory response for idle line");
+    Txn &t = it->second;
+    // Cache the fill in the NUCA slice; DMA fills are included by
+    // default (the GM "includes caches and main memory", Sec. 2.1)
+    // but can be excluded to study pollution.
+    if (t.req.type != MsgType::DmaRead || p.dmaFillsL2)
+        l2Insert(la, msg.data, false);
+    t.data = msg.data;
+    t.haveData = true;
+    t.dataDirty = false;
+    checkDone(la);
+}
+
+void
+DirectorySlice::fetchData(Addr la, TrafficClass cls)
+{
+    Txn &t = busy.at(la);
+    t.wantData = true;
+    if (auto wit = memWb.find(la); wit != memWb.end()) {
+        // Forward from the in-flight writeback (ordering safety).
+        ++stats.counter("memWbForwards");
+        const LineData d = wit->second.first;
+        net.events().scheduleIn(p.l2Latency, [this, la, d] {
+            Txn &tx = busy.at(la);
+            tx.data = d;
+            tx.haveData = true;
+            checkDone(la);
+        });
+        return;
+    }
+    if (const L2Line *l = l2.lookup(la)) {
+        ++stats.counter("l2Hits");
+        const LineData d = l->data;
+        net.events().scheduleIn(p.l2Latency, [this, la, d] {
+            Txn &tx = busy.at(la);
+            tx.data = d;
+            tx.haveData = true;
+            checkDone(la);
+        });
+    } else {
+        ++stats.counter("l2Misses");
+        Message m;
+        m.type = MsgType::MemRead;
+        m.addr = la;
+        m.requestor = tile;
+        m.cls = cls;
+        net.send(tile, Endpoint::MemCtrl, net.nearestMemCtrl(tile), m,
+                 cls);
+    }
+}
+
+void
+DirectorySlice::l2Insert(Addr la, const LineData &d, bool dirty)
+{
+    if (L2Line *l = l2.lookup(la)) {
+        l->data = d;
+        l->dirty = l->dirty || dirty;
+        return;
+    }
+    L2Line nl;
+    nl.data = d;
+    nl.dirty = dirty;
+    auto evicted = l2.insert(la, std::move(nl));
+    if (evicted && evicted->second.dirty) {
+        ++stats.counter("l2DirtyEvictions");
+        Message w;
+        w.type = MsgType::MemWrite;
+        w.addr = evicted->first;
+        w.requestor = tile;
+        w.hasData = true;
+        w.data = evicted->second.data;
+        w.cls = TrafficClass::WbRepl;
+        auto &wb = memWb[evicted->first];
+        wb.first = evicted->second.data;
+        ++wb.second;
+        net.send(tile, Endpoint::MemCtrl, net.nearestMemCtrl(tile), w,
+                 TrafficClass::WbRepl);
+    }
+}
+
+bool
+DirectorySlice::allocEntry(Addr la, DirEntry e)
+{
+    auto way = dir.allocWay(la, [this](Addr a) {
+        return busy.find(a) == busy.end();
+    });
+    if (!way)
+        return false;
+    if (auto victim = dir.occupant(la, *way)) {
+        // Evicting a tracked line: recall its L1 copies first. The
+        // recall runs as an independent transaction on the victim
+        // line; the new entry takes the slot immediately.
+        const DirEntry snapshot = *dir.peek(*victim);
+        ++stats.counter("recalls");
+        Txn rt;
+        rt.kind = TxnKind::Recall;
+        rt.req.type = MsgType::Inv;
+        rt.req.addr = *victim;
+        const Addr va = *victim;
+        busy.emplace(va, std::move(rt));
+        Txn &recall = busy.at(va);
+        std::uint64_t targets = snapshot.sharers;
+        if (snapshot.owner != invalidCore)
+            targets |= bit(snapshot.owner);
+        for (CoreId c = 0; targets != 0; ++c, targets >>= 1) {
+            if (targets & 1) {
+                sendInv(c, va, invalidCore, TrafficClass::WbRepl);
+                ++recall.pendingAcks;
+            }
+        }
+        recall.onComplete = [this, va] {
+            Txn &tx = busy.at(va);
+            if (tx.dataDirty)
+                l2Insert(va, tx.data, true);
+            finishTxn(va);
+        };
+        checkDone(va);
+    }
+    dir.fillWay(la, *way, e);
+    return true;
+}
+
+void
+DirectorySlice::sendInv(CoreId target, Addr la, CoreId requestor,
+                        TrafficClass cls)
+{
+    ++stats.counter("invalidationsSent");
+    Message m;
+    m.type = MsgType::Inv;
+    m.addr = la;
+    m.requestor = requestor;
+    m.cls = cls;
+    net.send(tile, Endpoint::L1D, target, m, cls);
+}
+
+void
+DirectorySlice::respond(CoreId core, Endpoint ep, MsgType ty, Addr la,
+                        const LineData *d, TrafficClass cls,
+                        std::uint64_t aux)
+{
+    Message m;
+    m.type = ty;
+    m.addr = la;
+    m.requestor = core;
+    m.aux = aux;
+    m.cls = cls;
+    if (d) {
+        m.hasData = true;
+        m.data = *d;
+    }
+    net.send(tile, ep, core, m, cls);
+}
+
+void
+DirectorySlice::onUnblock(const Message &msg)
+{
+    const Addr la = lineAlign(msg.addr);
+    auto it = busy.find(la);
+    if (it == busy.end() || !it->second.awaitingUnblock)
+        panic("DirectorySlice: unexpected Unblock");
+    finishTxn(la);
+}
+
+void
+DirectorySlice::checkDone(Addr la)
+{
+    auto it = busy.find(la);
+    if (it == busy.end())
+        return;
+    Txn &t = it->second;
+    if (t.pendingAcks != 0)
+        return;
+    if (t.wantData && !t.haveData)
+        return;
+    if (!t.onComplete)
+        return;
+    auto k = std::move(t.onComplete);
+    t.onComplete = nullptr;
+    k();
+}
+
+void
+DirectorySlice::finishTxn(Addr la)
+{
+    auto it = busy.find(la);
+    Txn old = std::move(it->second);
+    busy.erase(it);
+    if (!old.queued.empty()) {
+        Message next = old.queued.front();
+        old.queued.pop_front();
+        startTxn(next);
+        busy.at(lineAlign(next.addr)).queued = std::move(old.queued);
+    }
+}
+
+} // namespace spmcoh

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * L1 cache controller (data or instruction).
+ *
+ * Timing/coherence model:
+ *  - Loads that hit (any valid MOESI state) and stores that hit in
+ *    E/M complete synchronously through tryLoad/tryStore, so the core
+ *    can consume long hit runs without event-queue round trips.
+ *  - Everything else (misses, upgrades) allocates an MSHR and drives
+ *    a blocking-directory MOESI transaction over the mesh.
+ *  - Evicted lines sit in a writeback buffer until the directory
+ *    acknowledges the Put, and still service forwards/invalidations,
+ *    which closes the classic eviction/forward race.
+ *
+ * In icache mode the cache is read-only, fills with untracked
+ * IfetchGet requests, and never participates in coherence.
+ */
+
+#ifndef SPMCOH_MEM_L1CACHE_HH
+#define SPMCOH_MEM_L1CACHE_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/CacheArray.hh"
+#include "mem/MemNet.hh"
+#include "mem/Messages.hh"
+#include "mem/Mshr.hh"
+#include "mem/StridePrefetcher.hh"
+#include "sim/Stats.hh"
+
+namespace spmcoh
+{
+
+/** MOESI stable states tracked at the L1. */
+enum class L1State : std::uint8_t { S, E, O, M };
+
+/** L1 configuration (Table 1 defaults). */
+struct L1Params
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 4;
+    Tick hitLatency = 2;
+    std::uint32_t mshrs = 48;
+    std::uint32_t maxPrefetchInFlight = 32;
+    PrefetcherParams prefetcher;
+};
+
+/** One L1 cache. */
+class L1Cache
+{
+  public:
+    L1Cache(MemNet &net_, CoreId core_, bool icache_,
+            const L1Params &p_, const std::string &name);
+
+    /**
+     * Synchronous load: completes iff the line is resident.
+     * @param at core-local issue tick (>= now) for prefetch timing
+     * @return loaded value, or nullopt on miss (use startLoad)
+     */
+    std::optional<std::uint64_t>
+    tryLoad(Addr addr, std::uint8_t size, Tick at, std::uint32_t ref_id,
+            Tick &lat);
+
+    /**
+     * Synchronous store: completes iff the line is resident with
+     * write permission (E or M).
+     * @return true if performed
+     */
+    bool
+    tryStore(Addr addr, std::uint8_t size, std::uint64_t wdata, Tick at,
+             std::uint32_t ref_id, Tick &lat);
+
+    /**
+     * Start a miss-capable load at the current tick.
+     * @return false if no MSHR is available (retry when notified)
+     */
+    bool
+    startLoad(Addr addr, std::uint8_t size, std::uint32_t ref_id,
+              std::function<void(std::uint64_t)> on_done);
+
+    /** Start a miss-capable store at the current tick. */
+    bool
+    startStore(Addr addr, std::uint8_t size, std::uint64_t wdata,
+               std::uint32_t ref_id,
+               std::function<void(std::uint64_t)> on_done);
+
+    /** Issue a hardware prefetch for a line (best effort). */
+    void issuePrefetch(Addr line_addr);
+
+    /** Called by MemNet on message delivery. */
+    void handle(const Message &msg);
+
+    /** Register a callback fired whenever an MSHR frees up. */
+    void
+    setMshrFreeCallback(std::function<void()> cb)
+    {
+        mshrFreeCb = std::move(cb);
+    }
+
+    bool mshrFull() const { return mshr.full(); }
+    Tick hitLatency() const { return p.hitLatency; }
+
+    StatGroup &statGroup() { return stats; }
+    const StatGroup &statGroup() const { return stats; }
+
+    /** Peek for tests: is the line valid, and in which state? */
+    std::optional<L1State>
+    peekState(Addr addr) const
+    {
+        const Line *l = array.peek(addr);
+        return l ? std::optional<L1State>(l->state) : std::nullopt;
+    }
+
+  private:
+    struct Line
+    {
+        L1State state = L1State::S;
+        bool prefetched = false;
+        bool used = true;
+        LineData data{};
+    };
+
+    struct WbEntry
+    {
+        L1State state = L1State::M;
+        /** Puts in flight for this line; freed when all are acked.
+         *  A line can be re-fetched and re-evicted before the first
+         *  PutAck returns, so this can exceed one. */
+        std::uint32_t pendingPuts = 0;
+        LineData data{};
+    };
+
+    /** Common sync hit path; nullopt means caller must go async. */
+    std::optional<std::uint64_t>
+    tryAccess(Addr addr, std::uint8_t size, bool is_write,
+              std::uint64_t wdata, Tick at, std::uint32_t ref_id,
+              Tick &lat);
+
+    bool
+    startAccess(Addr addr, std::uint8_t size, bool is_write,
+                std::uint64_t wdata, std::uint32_t ref_id,
+                std::function<void(std::uint64_t)> on_done);
+
+    void onFill(const Message &msg);
+    void onFwd(const Message &msg);
+    void onInv(const Message &msg);
+    void onDmaFwd(const Message &msg);
+    void processTargets(Addr line_addr);
+    void installLine(Addr line_addr, L1State st, const LineData &d,
+                     bool prefetch_fill);
+    void evict(Addr line_addr, Line &&victim);
+    void sendToDir(MsgType t, Addr line_addr, TrafficClass cls,
+                   bool has_data = false, const LineData *d = nullptr,
+                   bool dirty = false, bool is_prefetch = false);
+    void trainPrefetcher(std::uint32_t ref_id, Addr addr, Tick at);
+    void notifyMshrFree();
+
+    MemNet &net;
+    CoreId core;
+    bool icache;
+    L1Params p;
+    CacheArray<Line> array;
+    MshrFile mshr;
+    std::unordered_map<Addr, WbEntry> wbBuffer;
+    StridePrefetcher prefetcher;
+    std::uint32_t prefetchesInFlight = 0;
+    std::function<void()> mshrFreeCb;
+    StatGroup stats;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_MEM_L1CACHE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory controller message handling.
+ */
+
+#include "mem/MainMemory.hh"
+
+#include "mem/MemNet.hh"
+
+namespace spmcoh
+{
+
+void
+MemCtrl::handle(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::MemRead: {
+        ++stats.counter("reads");
+        const Tick done = serviceSlot();
+        Message resp;
+        resp.type = MsgType::MemReadResp;
+        resp.addr = msg.addr;
+        resp.requestor = msg.requestor;
+        resp.hasData = true;
+        resp.aux = msg.aux;
+        resp.cls = msg.cls;
+        resp.data = mem.readLine(msg.addr);
+        const CoreId dst = msg.src;
+        eq.schedule(done, [this, resp, dst] {
+            net.send(tile, Endpoint::Dir, dst, resp, resp.cls);
+        });
+        break;
+      }
+      case MsgType::MemWrite: {
+        ++stats.counter("writes");
+        const Tick done = serviceSlot();
+        mem.writeLine(msg.addr, msg.data);
+        Message resp;
+        resp.type = MsgType::MemWriteAck;
+        resp.addr = msg.addr;
+        resp.requestor = msg.requestor;
+        resp.aux = msg.aux;
+        resp.cls = msg.cls;
+        const CoreId dst = msg.src;
+        eq.schedule(done, [this, resp, dst] {
+            net.send(tile, Endpoint::Dir, dst, resp, resp.cls);
+        });
+        break;
+      }
+      default:
+        panic("MemCtrl: unexpected message type");
+    }
+}
+
+} // namespace spmcoh

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Main memory: sparse data-carrying line store plus the memory
+ * controllers that front it on the mesh.
+ *
+ * Lines never touched read as zero. Controllers serve line reads and
+ * writes with a fixed access latency plus a bandwidth-limited service
+ * slot (one line per serviceCycles), modeling DDR contention at the
+ * level the evaluation needs.
+ */
+
+#ifndef SPMCOH_MEM_MAINMEMORY_HH
+#define SPMCOH_MEM_MAINMEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/Messages.hh"
+#include "sim/EventQueue.hh"
+#include "sim/Logging.hh"
+#include "sim/Stats.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Backing store shared by all memory controllers. */
+class MainMemory
+{
+  public:
+    /** Read a full line (zero-filled if untouched). */
+    LineData
+    readLine(Addr line_addr) const
+    {
+        auto it = lines.find(lineAlign(line_addr));
+        return it == lines.end() ? LineData{} : it->second;
+    }
+
+    /** Write a full line. */
+    void
+    writeLine(Addr line_addr, const LineData &d)
+    {
+        lines[lineAlign(line_addr)] = d;
+    }
+
+    /** Functional 64-bit read (tests / reference model). */
+    std::uint64_t
+    read64(Addr addr) const
+    {
+        return readLine(addr).read64(lineOffset(addr) & ~7u);
+    }
+
+    /** Functional 64-bit write (initialization / reference model). */
+    void
+    write64(Addr addr, std::uint64_t v)
+    {
+        LineData d = readLine(addr);
+        d.write64(lineOffset(addr) & ~7u, v);
+        writeLine(addr, d);
+    }
+
+    std::size_t linesTouched() const { return lines.size(); }
+
+  private:
+    std::unordered_map<Addr, LineData> lines;
+};
+
+/** Memory controller timing parameters. */
+struct MemCtrlParams
+{
+    Tick accessLatency = 80;  ///< fixed DRAM access time (cycles)
+    Tick serviceCycles = 2;   ///< line service rate (bandwidth)
+};
+
+class MemNet;
+
+/**
+ * One memory controller. Receives MemRead/MemWrite from directory
+ * slices and responds after queueing + access latency.
+ */
+class MemCtrl
+{
+  public:
+    MemCtrl(EventQueue &eq_, MemNet &net_, MainMemory &mem_,
+            std::uint32_t id_, CoreId tile_, const MemCtrlParams &p_)
+        : eq(eq_), net(net_), mem(mem_), id(id_), tile(tile_), p(p_),
+          stats("memctrl" + std::to_string(id_))
+    {}
+
+    void handle(const Message &msg);
+
+    const StatGroup &statGroup() const { return stats; }
+
+  private:
+    Tick
+    serviceSlot()
+    {
+        Tick start = eq.now();
+        if (nextFree > start)
+            start = nextFree;
+        nextFree = start + p.serviceCycles;
+        return start + p.accessLatency;
+    }
+
+    EventQueue &eq;
+    MemNet &net;
+    MainMemory &mem;
+    std::uint32_t id;
+    CoreId tile;
+    MemCtrlParams p;
+    Tick nextFree = 0;
+    StatGroup stats;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_MEM_MAINMEMORY_HH

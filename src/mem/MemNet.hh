@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Message fabric gluing all memory-system controllers to the mesh.
+ *
+ * Controllers register a handler per (endpoint kind, id); senders name
+ * the destination endpoint and the fabric turns the message into one
+ * NoC packet (control or data sized) delivered via the event queue.
+ * Tile placement: core i's L1/DMAC/Coh structures and the i-th L2
+ * slice, directory slice and FilterDir slice all live on tile i.
+ */
+
+#ifndef SPMCOH_MEM_MEMNET_HH
+#define SPMCOH_MEM_MEMNET_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/Messages.hh"
+#include "noc/Mesh.hh"
+#include "sim/Logging.hh"
+
+namespace spmcoh
+{
+
+/** Routes protocol messages between controllers over the mesh. */
+class MemNet
+{
+  public:
+    using Handler = std::function<void(const Message &)>;
+
+    MemNet(EventQueue &eq_, Mesh &mesh_, std::uint32_t num_cores,
+           std::vector<CoreId> mem_ctrl_tiles)
+        : eq(eq_), mesh(mesh_), numCores(num_cores),
+          mcTiles(std::move(mem_ctrl_tiles))
+    {
+        for (auto &v : handlers)
+            v.resize(numCores);
+        if (mcTiles.empty())
+            fatal("MemNet: need at least one memory controller tile");
+        mcHandlers.resize(mcTiles.size());
+    }
+
+    /** Tile that is home for a given line/base address. */
+    CoreId
+    homeSlice(Addr line_addr) const
+    {
+        return static_cast<CoreId>((line_addr >> lineShift) % numCores);
+    }
+
+    /** Memory controller index nearest to a tile (static mapping). */
+    std::uint32_t
+    nearestMemCtrl(CoreId tile) const
+    {
+        std::uint32_t best = 0;
+        std::uint32_t best_h =
+            mesh.hops(tile, mcTiles[0]);
+        for (std::uint32_t i = 1; i < mcTiles.size(); ++i) {
+            const std::uint32_t h = mesh.hops(tile, mcTiles[i]);
+            if (h < best_h) {
+                best_h = h;
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    CoreId mcTile(std::uint32_t mc) const { return mcTiles[mc]; }
+    std::uint32_t numMemCtrls() const
+    { return static_cast<std::uint32_t>(mcTiles.size()); }
+
+    /** Register the handler for an endpoint. */
+    void
+    setHandler(Endpoint ep, std::uint32_t id, Handler h)
+    {
+        if (ep == Endpoint::MemCtrl)
+            mcHandlers.at(id) = std::move(h);
+        else
+            handlers[epIndex(ep)].at(id) = std::move(h);
+    }
+
+    /**
+     * Send @p msg from tile @p srcTile to endpoint (@p ep, @p id).
+     * The packet size is derived from hasData; @p cls fixes the
+     * Fig. 10 traffic category.
+     * @return delivery tick.
+     */
+    Tick
+    send(CoreId src_tile, Endpoint ep, std::uint32_t id, Message msg,
+         TrafficClass cls)
+    {
+        msg.src = src_tile;
+        const CoreId dst_tile =
+            ep == Endpoint::MemCtrl ? mcTiles.at(id)
+                                    : static_cast<CoreId>(id);
+        const std::uint32_t bytes =
+            msg.hasData ? dataPacketBytes : ctrlPacketBytes;
+        Handler &h = ep == Endpoint::MemCtrl
+            ? mcHandlers.at(id) : handlers[epIndex(ep)].at(id);
+        if (!h)
+            panic("MemNet: no handler registered for endpoint");
+        return mesh.send(src_tile, dst_tile, cls, bytes,
+                         [&h, msg] { h(msg); });
+    }
+
+    /**
+     * Account traffic for one leg of an aggregated broadcast without
+     * scheduling a delivery event (see DESIGN.md).
+     */
+    void
+    accountOnly(CoreId src_tile, CoreId dst_tile, TrafficClass cls,
+                bool has_data)
+    {
+        mesh.account(src_tile, dst_tile, cls,
+                     has_data ? dataPacketBytes : ctrlPacketBytes);
+    }
+
+    Mesh &noc() { return mesh; }
+    EventQueue &events() { return eq; }
+    std::uint32_t cores() const { return numCores; }
+
+  private:
+    static std::size_t
+    epIndex(Endpoint ep)
+    {
+        switch (ep) {
+          case Endpoint::L1D:    return 0;
+          case Endpoint::L1I:    return 1;
+          case Endpoint::Dir:    return 2;
+          case Endpoint::Dmac:   return 3;
+          case Endpoint::Coh:    return 4;
+          case Endpoint::CohDir: return 5;
+          default: panic("MemNet: bad endpoint");
+        }
+    }
+
+    EventQueue &eq;
+    Mesh &mesh;
+    std::uint32_t numCores;
+    std::vector<CoreId> mcTiles;
+    std::array<std::vector<Handler>, 6> handlers;
+    std::vector<Handler> mcHandlers;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_MEM_MEMNET_HH

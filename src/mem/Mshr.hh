@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Miss Status Holding Registers for the L1 caches.
+ *
+ * One MSHR tracks one outstanding line transaction; same-line demand
+ * accesses merge as targets and complete in order when the fill
+ * arrives. Guarded accesses that must wait for a FilterDir decision
+ * are buffered here too (paper Sec. 3.2: "the L1 cache access is
+ * buffered in the MSHR").
+ */
+
+#ifndef SPMCOH_MEM_MSHR_HH
+#define SPMCOH_MEM_MSHR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** A buffered access waiting on an in-flight line. */
+struct MshrTarget
+{
+    Addr addr = 0;          ///< full (un-aligned) address
+    std::uint8_t size = 8;
+    bool isWrite = false;
+    std::uint64_t wdata = 0;
+    /** Completion callback; argument is the loaded value (0 for st). */
+    std::function<void(std::uint64_t)> onDone;
+};
+
+/** One outstanding line transaction. */
+struct MshrEntry
+{
+    Addr lineAddr = 0;
+    bool wantExclusive = false; ///< GetX issued (or will be)
+    bool issued = false;        ///< request left the cache
+    bool isPrefetch = true;     ///< only prefetch targets so far
+    std::deque<MshrTarget> targets;
+};
+
+/** Fixed-capacity MSHR file. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t capacity_) : capacity(capacity_) {}
+
+    bool full() const { return entries.size() >= capacity; }
+    std::size_t used() const { return entries.size(); }
+
+    MshrEntry *
+    find(Addr line_addr)
+    {
+        auto it = entries.find(lineAlign(line_addr));
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
+    /** Allocate a new entry. @pre !full() && !find(line_addr) */
+    MshrEntry &
+    alloc(Addr line_addr)
+    {
+        MshrEntry e;
+        e.lineAddr = lineAlign(line_addr);
+        auto [it, ok] = entries.emplace(e.lineAddr, std::move(e));
+        (void)ok;
+        return it->second;
+    }
+
+    /** Remove and return an entry when its transaction completes. */
+    MshrEntry
+    release(Addr line_addr)
+    {
+        auto it = entries.find(lineAlign(line_addr));
+        MshrEntry e = std::move(it->second);
+        entries.erase(it);
+        return e;
+    }
+
+  private:
+    std::uint32_t capacity;
+    std::unordered_map<Addr, MshrEntry> entries;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_MEM_MSHR_HH

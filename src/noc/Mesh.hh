@@ -1,0 +1,217 @@
+/**
+ * @file
+ * 2D mesh on-chip network with XY routing and contention-aware
+ * analytic latency (Table 1: mesh, link 1 cycle, router 1 cycle).
+ *
+ * Each unicast packet walks its XY path once at send time, reserving
+ * serialization slots on every directional link it crosses; delivery
+ * is a single scheduled event. Broadcasts (used by the FilterDir) are
+ * accounted packet-exactly but simulated as one aggregate event to
+ * bound event count (see DESIGN.md).
+ */
+
+#ifndef SPMCOH_NOC_MESH_HH
+#define SPMCOH_NOC_MESH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/Traffic.hh"
+#include "sim/EventQueue.hh"
+#include "sim/Logging.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Mesh configuration. */
+struct MeshParams
+{
+    std::uint32_t width = 8;       ///< tiles per row
+    std::uint32_t height = 8;      ///< tiles per column
+    Tick routerLatency = 1;        ///< cycles per router traversal
+    Tick linkLatency = 1;          ///< cycles per link traversal
+    std::uint32_t flitBytes = 16;  ///< link width
+    bool modelContention = true;   ///< reserve link serialization slots
+};
+
+/**
+ * The on-chip mesh interconnect.
+ *
+ * Tiles are numbered row-major: tile id = y * width + x. Every tile
+ * hosts a core + L1s + SPM + DMAC + one L2/directory slice, so CoreId
+ * doubles as the tile id.
+ */
+class Mesh
+{
+  public:
+    Mesh(EventQueue &eq_, const MeshParams &p_)
+        : eq(eq_), p(p_),
+          linkNextFree(static_cast<std::size_t>(p_.width) * p_.height * 4,
+                       0),
+          lastDelivery(static_cast<std::size_t>(p_.width) * p_.height *
+                           p_.width * p_.height,
+                       0)
+    {
+        if (p.width == 0 || p.height == 0)
+            fatal("Mesh: zero dimension");
+    }
+
+    std::uint32_t numTiles() const { return p.width * p.height; }
+
+    /** Manhattan hop count between two tiles. */
+    std::uint32_t
+    hops(CoreId src, CoreId dst) const
+    {
+        const auto [sx, sy] = coords(src);
+        const auto [dx, dy] = coords(dst);
+        return absDiff(sx, dx) + absDiff(sy, dy);
+    }
+
+    /**
+     * Send a packet now; schedules @p onArrive at the delivery tick.
+     * Local (src == dst) messages still pay one router traversal.
+     * @return the delivery tick.
+     */
+    Tick
+    send(CoreId src, CoreId dst, TrafficClass cls, std::uint32_t bytes,
+         EventQueue::Callback onArrive)
+    {
+        const Tick arrive = reserve(src, dst, bytes);
+        account(src, dst, cls, bytes);
+        if (onArrive)
+            eq.schedule(arrive, std::move(onArrive));
+        return arrive;
+    }
+
+    /**
+     * Account a packet's traffic without simulating its delivery.
+     * Used for the per-destination legs of aggregated broadcasts.
+     */
+    void
+    account(CoreId src, CoreId dst, TrafficClass cls,
+            std::uint32_t bytes)
+    {
+        const std::uint32_t h = hops(src, dst);
+        counters.add(cls, 1, bytes,
+                     static_cast<std::uint64_t>(flits(bytes)) *
+                     (h ? h : 1));
+    }
+
+    /** Contention-free latency of a unicast (for planning/oracles). */
+    Tick
+    routeLatency(CoreId src, CoreId dst, std::uint32_t bytes) const
+    {
+        const std::uint32_t h = hops(src, dst);
+        // Every hop costs router + link; the destination router also
+        // processes the packet. Serialization adds flits-1 cycles.
+        return p.routerLatency +
+               h * (p.routerLatency + p.linkLatency) +
+               (flits(bytes) - 1);
+    }
+
+    /** Worst-case contention-free latency from @p src to any tile. */
+    Tick
+    maxLatencyFrom(CoreId src, std::uint32_t bytes) const
+    {
+        Tick worst = 0;
+        for (CoreId t = 0; t < numTiles(); ++t) {
+            const Tick l = routeLatency(src, t, bytes);
+            if (l > worst)
+                worst = l;
+        }
+        return worst;
+    }
+
+    const TrafficCounters &traffic() const { return counters; }
+    void resetTraffic() { counters = TrafficCounters{}; }
+
+  private:
+    static std::uint32_t
+    absDiff(std::uint32_t a, std::uint32_t b)
+    {
+        return a > b ? a - b : b - a;
+    }
+
+    std::pair<std::uint32_t, std::uint32_t>
+    coords(CoreId id) const
+    {
+        return {id % p.width, id / p.width};
+    }
+
+    std::uint32_t
+    flits(std::uint32_t bytes) const
+    {
+        const std::uint32_t f =
+            static_cast<std::uint32_t>(divCeil(bytes, p.flitBytes));
+        return f ? f : 1;
+    }
+
+    /** Directional link index leaving (x,y) toward direction d. */
+    std::size_t
+    linkIndex(std::uint32_t x, std::uint32_t y, std::uint32_t d) const
+    {
+        return (static_cast<std::size_t>(y) * p.width + x) * 4 + d;
+    }
+
+    /**
+     * Walk the XY path reserving link slots; returns delivery tick.
+     * Directions: 0=+x, 1=-x, 2=+y, 3=-y.
+     */
+    Tick
+    reserve(CoreId src, CoreId dst, std::uint32_t bytes)
+    {
+        auto [x, y] = coords(src);
+        const auto [dx, dy] = coords(dst);
+        const std::uint32_t nf = flits(bytes);
+        Tick t = eq.now() + p.routerLatency;
+
+        auto traverse = [&](std::uint32_t dir, std::uint32_t &c,
+                            std::uint32_t target) {
+            while (c != target) {
+                const std::size_t li = linkIndex(x, y, dir);
+                if (p.modelContention) {
+                    Tick &free = linkNextFree[li];
+                    if (free > t)
+                        t = free;
+                    free = t + nf;
+                }
+                t += p.linkLatency + p.routerLatency;
+                if (dir == 0) ++c;
+                else if (dir == 1) --c;
+                else if (dir == 2) ++c;
+                else --c;
+            }
+        };
+
+        // X first, then Y (deadlock-free XY routing).
+        if (dx > x) traverse(0, x, dx);
+        else if (dx < x) traverse(1, x, dx);
+        if (dy > y) traverse(2, y, dy);
+        else if (dy < y) traverse(3, y, dy);
+
+        t += nf - 1;
+        // Point-to-point ordering: packets between one (src, dst)
+        // pair share one deterministic route and deliver in send
+        // order, whatever their sizes. Protocol correctness (e.g.
+        // a control GetX must not overtake the preceding PutM data
+        // packet) depends on this, as it does on real NoCs with
+        // deterministic routing and ordered virtual channels.
+        Tick &last = lastDelivery[static_cast<std::size_t>(src) *
+                                      numTiles() + dst];
+        if (t <= last)
+            t = last + 1;
+        last = t;
+        return t;
+    }
+
+    EventQueue &eq;
+    MeshParams p;
+    std::vector<Tick> linkNextFree;
+    std::vector<Tick> lastDelivery;
+    TrafficCounters counters;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_NOC_MESH_HH

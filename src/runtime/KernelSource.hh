@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Op-stream generators: the runtime library of Sec. 2.2.
+ *
+ * KernelSource emits one thread's micro-op stream for one kernel
+ * invocation, either
+ *  - tiled for the hybrid memory system (Fig. 3): per chunk a control
+ *    phase (MAP = dma-put of the previous chunk + SPMDir update +
+ *    dma-get of the next), a synchronization phase (dma-synch) and a
+ *    work phase computing on the SPM buffers; or
+ *  - flat for the cache-based baseline: the original loop, all
+ *    references served by the cache hierarchy.
+ *
+ * Both modes draw identical random sequences, and stores carry values
+ * that depend only on (array, element), so the two systems produce
+ * identical final memory images for race-free programs -- the basis
+ * of the end-to-end equivalence tests.
+ */
+
+#ifndef SPMCOH_RUNTIME_KERNELSOURCE_HH
+#define SPMCOH_RUNTIME_KERNELSOURCE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "compiler/Compiler.hh"
+#include "cpu/MicroOp.hh"
+#include "runtime/Layout.hh"
+#include "spm/AddressMap.hh"
+#include "spm/Dmac.hh"
+#include "sim/Rng.hh"
+
+namespace spmcoh
+{
+
+/** Deterministic payload for workload stores. */
+inline std::uint64_t
+workloadValue(std::uint32_t array_id, std::uint64_t elem_idx)
+{
+    return defaultStoreValue(
+        (static_cast<std::uint64_t>(array_id) << 40) ^ elem_idx, 77);
+}
+
+/** Instruction-count model of the runtime library calls. */
+struct RuntimeCosts
+{
+    std::uint32_t loopSetup = 60;       ///< ALLOCATE_BUFFERS etc.
+    std::uint32_t controlPerChunk = 25; ///< outer-loop bookkeeping
+    std::uint32_t mapCall = 20;         ///< one MAP statement
+    std::uint32_t syncCall = 6;         ///< dma-synch wrapper
+    std::uint32_t runtimeCodeBytes = 1024; ///< extra I-footprint
+};
+
+/** One thread's op stream for one kernel invocation. */
+class KernelSource : public OpSource
+{
+  public:
+    KernelSource(const ProgramPlan &prog_, std::uint32_t kernel_idx,
+                 const ProgramLayout &layout_, CoreId core_,
+                 std::uint32_t num_cores, bool hybrid_,
+                 std::uint32_t spm_bytes, std::uint32_t invocation,
+                 const RuntimeCosts &costs_ = RuntimeCosts{});
+
+    bool next(MicroOp &op) override;
+
+  private:
+    enum class St : std::uint8_t
+    {
+        Prologue, Control, Sync, Work, EpiloguePut, EpilogueSync, Done,
+    };
+
+    void refill();
+    void emitPrologue();
+    void emitControlStep();
+    void emitSyncPhase();
+    void emitIteration();
+    void emitEpiloguePut();
+    void emitEpilogueSync();
+
+    Addr chunkBase(const ClassifiedRef &r, std::uint64_t chunk) const;
+    Addr spmBufAddr(const ClassifiedRef &r) const;
+    Addr randomTarget(const ClassifiedRef &r);
+    std::uint32_t refIdFor(const ClassifiedRef &r) const;
+    std::uint32_t tagMask() const;
+
+    const ProgramPlan &prog;
+    const KernelPlan &plan;
+    const ProgramLayout &layout;
+    CoreId core;
+    std::uint32_t numCores;
+    bool hybrid;
+    std::uint32_t spmBytes;
+    RuntimeCosts costs;
+    Rng rng;
+
+    std::uint64_t perThreadIters = 0;
+    std::uint64_t chunkIters = 0;   ///< flat: all iters in one chunk
+    std::uint64_t numChunks = 1;
+    std::uint64_t bufBytes = 0;
+    Addr spmLocalBase = 0;
+    std::uint64_t stackSlot = 0;
+
+    St st = St::Prologue;
+    std::uint64_t chunk = 0;
+    std::uint64_t iter = 0;      ///< iteration within current chunk
+    std::uint32_t ctrlRef = 0;   ///< SPM ref index in control phase
+    std::deque<MicroOp> q;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_RUNTIME_KERNELSOURCE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Whole-program op stream: kernels in sequence, repeated over
+ * timesteps, with a fork-join barrier after every kernel.
+ */
+
+#ifndef SPMCOH_RUNTIME_PROGRAMSOURCE_HH
+#define SPMCOH_RUNTIME_PROGRAMSOURCE_HH
+
+#include <memory>
+
+#include "runtime/KernelSource.hh"
+
+namespace spmcoh
+{
+
+/** One thread's op stream for a whole benchmark run. */
+class ProgramSource : public OpSource
+{
+  public:
+    ProgramSource(const ProgramPlan &prog_, const ProgramLayout &layout_,
+                  CoreId core_, std::uint32_t num_cores, bool hybrid_,
+                  std::uint32_t spm_bytes,
+                  const RuntimeCosts &costs_ = RuntimeCosts{})
+        : prog(prog_), layout(layout_), core(core_),
+          numCores(num_cores), hybrid(hybrid_), spmBytes(spm_bytes),
+          costs(costs_)
+    {
+        openKernel();
+    }
+
+    bool
+    next(MicroOp &op) override
+    {
+        while (true) {
+            if (pendingBarrier) {
+                pendingBarrier = false;
+                op = MicroOp{};
+                op.kind = OpKind::Barrier;
+                op.count = barrierSeq++;
+                return true;
+            }
+            if (!current)
+                return false;
+            if (current->next(op))
+                return true;
+            // Kernel finished: barrier, then the next kernel.
+            pendingBarrier = true;
+            advanceKernel();
+        }
+    }
+
+  private:
+    void
+    openKernel()
+    {
+        if (timestep >= prog.decl.timesteps ||
+            prog.kernels.empty()) {
+            current.reset();
+            return;
+        }
+        current = std::make_unique<KernelSource>(
+            prog, kernelIdx, layout, core, numCores, hybrid, spmBytes,
+            timestep, costs);
+    }
+
+    void
+    advanceKernel()
+    {
+        ++kernelIdx;
+        if (kernelIdx >= prog.kernels.size()) {
+            kernelIdx = 0;
+            ++timestep;
+        }
+        openKernel();
+    }
+
+    const ProgramPlan &prog;
+    const ProgramLayout &layout;
+    CoreId core;
+    std::uint32_t numCores;
+    bool hybrid;
+    std::uint32_t spmBytes;
+    RuntimeCosts costs;
+
+    std::unique_ptr<KernelSource> current;
+    std::uint32_t kernelIdx = 0;
+    std::uint32_t timestep = 0;
+    std::uint32_t barrierSeq = 0;
+    bool pendingBarrier = false;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_RUNTIME_PROGRAMSOURCE_HH

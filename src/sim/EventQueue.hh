@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Discrete event queue driving the whole simulation.
+ *
+ * Events are arbitrary callables scheduled at an absolute tick.
+ * Ties are broken by insertion order (FIFO among same-tick events),
+ * which keeps the simulation deterministic.
+ */
+
+#ifndef SPMCOH_SIM_EVENTQUEUE_HH
+#define SPMCOH_SIM_EVENTQUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/Logging.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/**
+ * The global discrete event queue.
+ *
+ * All simulated components schedule closures on one EventQueue owned
+ * by the System. Time only moves forward: scheduling in the past is a
+ * panic (simulator bug).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return queue.size(); }
+
+    /** Total events ever executed (for stats / microbenches). */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < _now)
+            panic("EventQueue: scheduling in the past");
+        queue.push(Entry{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(_now + delta, std::move(cb));
+    }
+
+    /**
+     * Run events until the queue drains or @p limit ticks elapse.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool
+    run(Tick limit = maxTick)
+    {
+        while (!queue.empty()) {
+            const Entry &top = queue.top();
+            if (top.when > limit) {
+                _now = limit;
+                return false;
+            }
+            _now = top.when;
+            Callback cb = std::move(const_cast<Entry &>(top).cb);
+            queue.pop();
+            ++numExecuted;
+            cb();
+        }
+        return true;
+    }
+
+    /** Execute a single event; returns false if none pending. */
+    bool
+    step()
+    {
+        if (queue.empty())
+            return false;
+        const Entry &top = queue.top();
+        _now = top.when;
+        Callback cb = std::move(const_cast<Entry &>(top).cb);
+        queue.pop();
+        ++numExecuted;
+        cb();
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SIM_EVENTQUEUE_HH

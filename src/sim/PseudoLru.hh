@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tree-based pseudo-LRU replacement state, as used by the caches and
+ * by the fully-associative filter structures (Table 1: pseudoLRU).
+ *
+ * For a set of N ways (N a power of two) the tree keeps N-1 bits; a
+ * touch flips the bits along the way's path, and a victim walk follows
+ * the cold direction. For non-power-of-two N we round up and re-walk
+ * until a valid way is produced (bounded, deterministic).
+ */
+
+#ifndef SPMCOH_SIM_PSEUDOLRU_HH
+#define SPMCOH_SIM_PSEUDOLRU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Pseudo-LRU tree over a fixed number of ways. */
+class PseudoLru
+{
+  public:
+    explicit PseudoLru(std::uint32_t ways_ = 1)
+        : numWays(ways_), treeWays(1)
+    {
+        while (treeWays < numWays)
+            treeWays <<= 1;
+        bits.assign(treeWays, false);   // slot 0 unused, 1..treeWays-1
+    }
+
+    std::uint32_t ways() const { return numWays; }
+
+    /** Mark @p way most-recently used. */
+    void
+    touch(std::uint32_t way)
+    {
+        std::uint32_t node = 1;
+        std::uint32_t lo = 0, hi = treeWays;
+        while (hi - lo > 1) {
+            std::uint32_t mid = lo + (hi - lo) / 2;
+            const bool right = way >= mid;
+            // bit true means "recently went right", so victim goes left
+            bits[node] = right;
+            node = node * 2 + (right ? 1 : 0);
+            if (right) lo = mid; else hi = mid;
+        }
+    }
+
+    /** Pick a victim way (least recently used path). */
+    std::uint32_t
+    victim() const
+    {
+        std::uint32_t node = 1;
+        std::uint32_t lo = 0, hi = treeWays;
+        while (hi - lo > 1) {
+            std::uint32_t mid = lo + (hi - lo) / 2;
+            const bool goRight = !bits[node];
+            node = node * 2 + (goRight ? 1 : 0);
+            if (goRight) lo = mid; else hi = mid;
+        }
+        // With non-power-of-two way counts the walk can land on a
+        // padding way; clamp to the last real way, which is a valid
+        // (if slightly colder-biased) victim choice.
+        return lo < numWays ? lo : numWays - 1;
+    }
+
+  private:
+    std::uint32_t numWays;
+    std::uint32_t treeWays;
+    std::vector<bool> bits;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SIM_PSEUDOLRU_HH

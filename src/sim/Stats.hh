@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters grouped per
+ * component, with a registry for dumping.
+ *
+ * Modeled on gem5's Stats package but reduced to what the evaluation
+ * needs: counters, derived ratios at dump time, and histograms for
+ * latency distributions.
+ */
+
+#ifndef SPMCOH_SIM_STATS_HH
+#define SPMCOH_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spmcoh
+{
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(std::uint64_t d) { val += d; return *this; }
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/**
+ * A fixed-bucket histogram for latency/occupancy distributions.
+ * Values beyond the last bucket edge land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::uint64_t> edges_ = {})
+        : edges(std::move(edges_)), buckets(edges.size() + 1, 0) {}
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t i = 0;
+        while (i < edges.size() && v > edges[i])
+            ++i;
+        ++buckets[i];
+        sum += v;
+        ++count;
+        if (v > maxV) maxV = v;
+    }
+
+    std::uint64_t samples() const { return count; }
+    double mean() const { return count ? double(sum) / count : 0.0; }
+    std::uint64_t maxValue() const { return maxV; }
+    const std::vector<std::uint64_t> &bucketCounts() const
+    { return buckets; }
+
+  private:
+    std::vector<std::uint64_t> edges;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sum = 0;
+    std::uint64_t count = 0;
+    std::uint64_t maxV = 0;
+};
+
+/**
+ * A flat group of named counters belonging to one component.
+ * Components embed a StatGroup and register counters by name; the
+ * System aggregates groups for dumping.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name_ = "") : _name(std::move(name_)) {}
+
+    const std::string &name() const { return _name; }
+
+    /** Get-or-create a counter. */
+    Counter &
+    counter(const std::string &key)
+    {
+        return counters[key];
+    }
+
+    /** Read a counter value; 0 if absent. */
+    std::uint64_t
+    value(const std::string &key) const
+    {
+        auto it = counters.find(key);
+        return it == counters.end() ? 0 : it->second.value();
+    }
+
+    const std::map<std::string, Counter> &all() const { return counters; }
+
+    void
+    reset()
+    {
+        for (auto &kv : counters)
+            kv.second.reset();
+    }
+
+    /** Dump "group.key value" lines. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &kv : counters)
+            os << _name << '.' << kv.first << ' '
+               << kv.second.value() << '\n';
+    }
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> counters;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SIM_STATS_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * One scratchpad memory (Table 1: 32KB, 2 cycles, 64B blocks).
+ *
+ * SPMs are plain byte arrays with deterministic access latency: no
+ * tags, no TLB, no coherence state. All cores can address any SPM;
+ * remote accesses travel the mesh (handled by the coherence
+ * controller), local ones complete in spmLatency cycles.
+ */
+
+#ifndef SPMCOH_SPM_SPM_HH
+#define SPMCOH_SPM_SPM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/Logging.hh"
+#include "sim/Stats.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Per-core scratchpad storage. */
+class Spm
+{
+  public:
+    Spm(std::uint32_t size_bytes, Tick latency_, const std::string &name)
+        : bytes(size_bytes, 0), latency(latency_), stats(name)
+    {}
+
+    std::uint32_t size() const
+    { return static_cast<std::uint32_t>(bytes.size()); }
+    Tick accessLatency() const { return latency; }
+
+    /** Read @p n bytes (1..8) at @p off; counts one access. */
+    std::uint64_t
+    read(std::uint32_t off, std::uint32_t n)
+    {
+        check(off, n);
+        ++stats.counter("reads");
+        std::uint64_t v = 0;
+        for (std::uint32_t i = n; i-- > 0;)
+            v = (v << 8) | bytes[off + i];
+        return v;
+    }
+
+    /** Write @p n bytes (1..8) at @p off; counts one access. */
+    void
+    write(std::uint32_t off, std::uint32_t n, std::uint64_t v)
+    {
+        check(off, n);
+        ++stats.counter("writes");
+        for (std::uint32_t i = 0; i < n; ++i) {
+            bytes[off + i] = static_cast<std::uint8_t>(v & 0xff);
+            v >>= 8;
+        }
+    }
+
+    /** Bulk line copy in (DMA fill); counts one block access. */
+    void
+    fillBlock(std::uint32_t off, const std::uint8_t *src,
+              std::uint32_t n)
+    {
+        check(off, n);
+        ++stats.counter("dmaFills");
+        for (std::uint32_t i = 0; i < n; ++i)
+            bytes[off + i] = src[i];
+    }
+
+    /** Bulk line copy out (DMA drain); counts one block access. */
+    void
+    drainBlock(std::uint32_t off, std::uint8_t *dst,
+               std::uint32_t n)
+    {
+        check(off, n);
+        ++stats.counter("dmaDrains");
+        for (std::uint32_t i = 0; i < n; ++i)
+            dst[i] = bytes[off + i];
+    }
+
+    StatGroup &statGroup() { return stats; }
+    const StatGroup &statGroup() const { return stats; }
+
+  private:
+    void
+    check(std::uint32_t off, std::uint32_t n) const
+    {
+        if (off + n > bytes.size())
+            panic("Spm: access out of range");
+    }
+
+    std::vector<std::uint8_t> bytes;
+    Tick latency;
+    StatGroup stats;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SPM_SPM_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * System assembly implementation.
+ */
+
+#include "system/System.hh"
+
+namespace spmcoh
+{
+
+System::System(const SystemParams &p_)
+    : p(p_), eq(), noc(eq, p_.mesh),
+      amap(p_.numCores, p_.spmBytes)
+{
+    if (p.mesh.width * p.mesh.height < p.numCores)
+        fatal("System: mesh smaller than the core count");
+    fabric.ideal = p.mode == SystemMode::HybridIdeal;
+
+    net = std::make_unique<MemNet>(eq, noc, p.numCores, p.mcTiles);
+
+    for (std::uint32_t i = 0; i < p.mcTiles.size(); ++i) {
+        mcs.push_back(std::make_unique<MemCtrl>(
+            eq, *net, mem, i, p.mcTiles[i], p.mc));
+        MemCtrl *mc = mcs.back().get();
+        net->setHandler(Endpoint::MemCtrl, i,
+                        [mc](const Message &m) { mc->handle(m); });
+    }
+
+    for (CoreId i = 0; i < p.numCores; ++i) {
+        const std::string id = std::to_string(i);
+
+        dirs.push_back(std::make_unique<DirectorySlice>(
+            *net, i, p.dir, "dir" + id));
+        DirectorySlice *dir = dirs.back().get();
+        net->setHandler(Endpoint::Dir, i,
+                        [dir](const Message &m) { dir->handle(m); });
+
+        spms.push_back(std::make_unique<Spm>(
+            p.spmBytes, p.spmLatency, "spm" + id));
+        dmacs.push_back(std::make_unique<Dmac>(
+            *net, *spms.back(), amap, i, p.dmac, "dmac" + id));
+        Dmac *dm = dmacs.back().get();
+        net->setHandler(Endpoint::Dmac, i,
+                        [dm](const Message &m) { dm->handle(m); });
+
+        cohs.push_back(std::make_unique<CohController>(
+            *net, fabric, amap, *spms.back(), *dmacs.back(), i, p.coh,
+            "coh" + id));
+        CohController *coh = cohs.back().get();
+        net->setHandler(Endpoint::Coh, i,
+                        [coh](const Message &m) { coh->handle(m); });
+
+        fslices.push_back(std::make_unique<FilterDirSlice>(
+            *net, fabric, i, p.filterDir, "fdir" + id));
+        FilterDirSlice *fs = fslices.back().get();
+        net->setHandler(Endpoint::CohDir, i,
+                        [fs](const Message &m) { fs->handle(m); });
+
+        l1ds.push_back(std::make_unique<L1Cache>(
+            *net, i, false, p.l1d, "l1d" + id));
+        L1Cache *l1d = l1ds.back().get();
+        net->setHandler(Endpoint::L1D, i,
+                        [l1d](const Message &m) { l1d->handle(m); });
+
+        L1Params l1i_params = p.l1i;
+        l1i_params.prefetcher.enabled = false;
+        l1is.push_back(std::make_unique<L1Cache>(
+            *net, i, true, l1i_params, "l1i" + id));
+        L1Cache *l1i = l1is.back().get();
+        net->setHandler(Endpoint::L1I, i,
+                        [l1i](const Message &m) { l1i->handle(m); });
+
+        tlbs.push_back(std::make_unique<Tlb>(p.tlb, "tlb" + id));
+    }
+
+    for (CoreId i = 0; i < p.numCores; ++i)
+        fabric.ctrls.push_back(cohs[i].get());
+    for (CoreId i = 0; i < p.numCores; ++i)
+        fabric.slices.push_back(fslices[i].get());
+
+    for (CoreId i = 0; i < p.numCores; ++i) {
+        cores.push_back(std::make_unique<CoreModel>(
+            *net, *l1ds[i], *l1is[i], *tlbs[i], *spms[i], *dmacs[i],
+            *cohs[i], amap, i, p.mode, p.core,
+            "core" + std::to_string(i)));
+        cores.back()->setBarrierHook(
+            [this](std::uint32_t id, std::function<void()> cb) {
+                barrier(id).arrive(std::move(cb));
+            });
+    }
+}
+
+Barrier &
+System::barrier(std::uint32_t id)
+{
+    auto it = barriers.find(id);
+    if (it == barriers.end()) {
+        it = barriers
+                 .emplace(id, std::make_unique<Barrier>(
+                                  eq, p.numCores, p.barrierLatency))
+                 .first;
+    }
+    return *it->second;
+}
+
+bool
+System::run(std::vector<std::unique_ptr<OpSource>> sources)
+{
+    if (sources.size() != p.numCores)
+        fatal("System: need one op source per core");
+    running = std::move(sources);
+    for (CoreId i = 0; i < p.numCores; ++i)
+        cores[i]->start(running[i].get());
+    const bool drained = eq.run(p.maxTicks);
+    if (!drained)
+        return false;
+    for (CoreId i = 0; i < p.numCores; ++i)
+        if (!cores[i]->finished())
+            return false;
+    return true;
+}
+
+RunResults
+System::results() const
+{
+    RunResults r;
+    for (const auto &c : cores)
+        if (c->finishTick() > r.cycles)
+            r.cycles = c->finishTick();
+    for (const auto &c : cores)
+        for (std::size_t ph = 0; ph < numExecPhases; ++ph)
+            r.phaseCycles[ph] +=
+                c->phaseCycles(static_cast<ExecPhase>(ph));
+    r.traffic = noc.traffic();
+
+    RunCounters &k = r.counters;
+    k.cycles = r.cycles;
+    k.numCores = p.numCores;
+    for (CoreId i = 0; i < p.numCores; ++i) {
+        const StatGroup &cs = cores[i]->statGroup();
+        k.instructions += cs.value("instructions");
+        k.squashes += cs.value("squashes");
+        k.guardedAccesses += cs.value("guardedAccesses");
+        r.localSpmServed += cs.value("guardedLocalSpm");
+        r.remoteSpmServed += cs.value("guardedRemoteSpm");
+
+        const StatGroup &l1d = l1ds[i]->statGroup();
+        k.l1dAccesses += l1d.value("accesses");
+        k.l1dMisses += l1d.value("misses") + l1d.value("fills");
+
+        const StatGroup &l1i = l1is[i]->statGroup();
+        k.l1iAccesses += l1i.value("accesses");
+        k.l1iMisses += l1i.value("misses");
+        // Fetch-group accesses not explicitly simulated: one I-cache
+        // read per issue group.
+        k.l1iAccesses += cs.value("instructions") / p.core.issueWidth;
+
+        const StatGroup &t = tlbs[i]->statGroup();
+        k.tlbAccesses += t.value("accesses");
+        k.tlbMisses += t.value("misses");
+
+        const StatGroup &d = dirs[i]->statGroup();
+        k.dirTxns += d.value("getS") + d.value("getX") +
+                     d.value("putM") + d.value("putS") +
+                     d.value("putE") + d.value("ifetch") +
+                     d.value("dmaRead") + d.value("dmaWrite");
+        k.l2Accesses += d.value("l2Hits") + d.value("l2Misses");
+
+        const StatGroup &s = spms[i]->statGroup();
+        k.spmAccesses += s.value("reads") + s.value("writes") +
+                         s.value("dmaFills") + s.value("dmaDrains");
+
+        const StatGroup &dm = dmacs[i]->statGroup();
+        k.dmaLines += dm.value("getLines") + dm.value("putLines");
+
+        const StatGroup &coh = cohs[i]->statGroup();
+        k.spmDirLookups += coh.value("spmdirLookups") +
+                           coh.value("spmdirProbes") +
+                           coh.value("mappings");
+        k.filterLookups += coh.value("filterLookups");
+        r.filterHits += coh.value("filterHits");
+        r.filterMisses += coh.value("filterMisses");
+        r.filterInvalidations += coh.value("filterInvalsReceived");
+
+        const StatGroup &fd = fslices[i]->statGroup();
+        k.filterDirOps += fd.value("checks") +
+                          fd.value("mapInvalidations") +
+                          fd.value("evictNotifies") +
+                          fd.value("broadcasts");
+    }
+    for (const auto &mc : mcs) {
+        k.memLines += mc->statGroup().value("reads") +
+                      mc->statGroup().value("writes");
+    }
+    k.flitHops = r.traffic.flitHops;
+    r.squashes = k.squashes;
+
+    const std::uint64_t fl = r.filterHits + r.filterMisses;
+    r.filterHitRatio =
+        fl == 0 ? 1.0 : double(r.filterHits) / double(fl);
+
+    EnergyParams ep = p.energy;
+    EnergyModel em(ep);
+    r.energy = em.compute(k);
+    return r;
+}
+
+} // namespace spmcoh

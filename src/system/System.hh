@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Full-system assembly: the 64-core manycore of Table 1 in three
+ * flavors -- cache-based, hybrid with ideal coherence, and hybrid
+ * with the proposed SPM coherence protocol.
+ *
+ * Every tile hosts a core, L1I/L1D, TLB, SPM, DMAC, SPM coherence
+ * controller, one L2/directory slice and one FilterDir slice; four
+ * memory controllers sit at the mesh corners.
+ */
+
+#ifndef SPMCOH_SYSTEM_SYSTEM_HH
+#define SPMCOH_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/CohController.hh"
+#include "coherence/FilterDirSlice.hh"
+#include "cpu/Barrier.hh"
+#include "cpu/CoreModel.hh"
+#include "energy/EnergyModel.hh"
+#include "mem/DirectorySlice.hh"
+#include "mem/L1Cache.hh"
+#include "mem/MainMemory.hh"
+#include "mem/MemNet.hh"
+#include "mem/Tlb.hh"
+#include "noc/Mesh.hh"
+#include "spm/AddressMap.hh"
+#include "spm/Dmac.hh"
+#include "spm/Spm.hh"
+#include "sim/EventQueue.hh"
+
+namespace spmcoh
+{
+
+/** Complete system configuration (Table 1 defaults). */
+struct SystemParams
+{
+    std::uint32_t numCores = 64;
+    SystemMode mode = SystemMode::HybridProto;
+
+    MeshParams mesh{};                 ///< 8x8, 1-cycle link/router
+    L1Params l1d{};                    ///< 32KB 4-way, prefetcher
+    L1Params l1i{};                    ///< 32KB 4-way
+    DirSliceParams dir{};              ///< 256KB slice, MOESI dir
+    MemCtrlParams mc{};
+    TlbParams tlb{};
+    std::uint32_t spmBytes = 32 * 1024;
+    Tick spmLatency = 2;
+    DmacParams dmac{};
+    CohParams coh{};
+    FilterDirParams filterDir{};
+    CoreParams core{};
+    std::vector<CoreId> mcTiles = {0, 7, 56, 63};
+    Tick barrierLatency = 50;
+    /** Deadlock guard for event-loop runs. */
+    Tick maxTicks = std::uint64_t(4) << 32;
+    EnergyParams energy{};
+
+    /**
+     * Fairness rule of Sec. 5.4: the cache-based system gets a 64KB
+     * L1D (32KB L1D + 32KB SPM equivalent) at unchanged latency.
+     */
+    static SystemParams
+    forMode(SystemMode m, std::uint32_t cores = 64)
+    {
+        SystemParams p;
+        p.mode = m;
+        p.numCores = cores;
+        if (cores != 64) {
+            // Square-ish mesh for small test systems.
+            std::uint32_t w = 1;
+            while (w * w < cores)
+                ++w;
+            p.mesh.width = w;
+            p.mesh.height = divCeil(cores, w);
+            p.mcTiles = {0};
+            if (cores > 1)
+                p.mcTiles.push_back(cores - 1);
+        }
+        if (m == SystemMode::CacheOnly) {
+            p.l1d.sizeBytes = 64 * 1024;
+            p.energy.hybridStructuresPresent = false;
+        }
+        return p;
+    }
+};
+
+/** Aggregated outcome of one run (feeds every figure). */
+struct RunResults
+{
+    Tick cycles = 0;
+    std::uint64_t phaseCycles[numExecPhases] = {0, 0, 0};
+    TrafficCounters traffic{};
+    RunCounters counters{};
+    EnergyBreakdown energy{};
+    double filterHitRatio = 1.0;
+    std::uint64_t filterHits = 0;
+    std::uint64_t filterMisses = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t filterInvalidations = 0;
+    std::uint64_t localSpmServed = 0;   ///< guarded, Fig. 5b path
+    std::uint64_t remoteSpmServed = 0;  ///< guarded, Fig. 5d path
+};
+
+/** The manycore. */
+class System
+{
+  public:
+    explicit System(const SystemParams &p_);
+
+    EventQueue &events() { return eq; }
+    Mesh &mesh() { return noc; }
+    MemNet &memNet() { return *net; }
+    MainMemory &memory() { return mem; }
+    const AddressMap &addressMap() const { return amap; }
+    const SystemParams &params() const { return p; }
+    CohFabric &cohFabric() { return fabric; }
+
+    L1Cache &l1dAt(CoreId i) { return *l1ds[i]; }
+    L1Cache &l1iAt(CoreId i) { return *l1is[i]; }
+    Tlb &tlbAt(CoreId i) { return *tlbs[i]; }
+    Spm &spmAt(CoreId i) { return *spms[i]; }
+    Dmac &dmacAt(CoreId i) { return *dmacs[i]; }
+    CohController &cohAt(CoreId i) { return *cohs[i]; }
+    DirectorySlice &dirAt(CoreId i) { return *dirs[i]; }
+    FilterDirSlice &filterDirAt(CoreId i) { return *fslices[i]; }
+    CoreModel &coreAt(CoreId i) { return *cores[i]; }
+
+    /** Barrier registry used by the cores' barrier hook. */
+    Barrier &barrier(std::uint32_t id);
+
+    /**
+     * Run the given per-core op sources to completion.
+     * @return false if the deadlock guard tripped
+     */
+    bool run(std::vector<std::unique_ptr<OpSource>> sources);
+
+    /** Collect counters/energy/traffic after a run. */
+    RunResults results() const;
+
+  private:
+    SystemParams p;
+    EventQueue eq;
+    Mesh noc;
+    AddressMap amap;
+    MainMemory mem;
+    CohFabric fabric;
+    std::unique_ptr<MemNet> net;
+
+    std::vector<std::unique_ptr<MemCtrl>> mcs;
+    std::vector<std::unique_ptr<DirectorySlice>> dirs;
+    std::vector<std::unique_ptr<Spm>> spms;
+    std::vector<std::unique_ptr<Dmac>> dmacs;
+    std::vector<std::unique_ptr<CohController>> cohs;
+    std::vector<std::unique_ptr<FilterDirSlice>> fslices;
+    std::vector<std::unique_ptr<L1Cache>> l1ds;
+    std::vector<std::unique_ptr<L1Cache>> l1is;
+    std::vector<std::unique_ptr<Tlb>> tlbs;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+    std::unordered_map<std::uint32_t, std::unique_ptr<Barrier>>
+        barriers;
+    std::vector<std::unique_ptr<OpSource>> running;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SYSTEM_SYSTEM_HH

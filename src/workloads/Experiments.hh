@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment runner: compiles a benchmark model, builds the target
+ * system (cache-based / hybrid-ideal / hybrid-protocol) and runs it
+ * to completion. Every bench harness in bench/ is built on this.
+ */
+
+#ifndef SPMCOH_WORKLOADS_EXPERIMENTS_HH
+#define SPMCOH_WORKLOADS_EXPERIMENTS_HH
+
+#include <memory>
+#include <optional>
+
+#include "compiler/Compiler.hh"
+#include "runtime/Layout.hh"
+#include "runtime/ProgramSource.hh"
+#include "system/System.hh"
+#include "workloads/NasBenchmarks.hh"
+
+namespace spmcoh
+{
+
+/** A compiled + laid-out program ready to run. */
+struct PreparedProgram
+{
+    ProgramPlan plan;
+    ProgramLayout layout;
+};
+
+/** Compile and lay out @p prog for the given machine size. */
+inline PreparedProgram
+prepareProgram(const ProgramDecl &prog, std::uint32_t num_cores,
+               std::uint32_t spm_bytes)
+{
+    PreparedProgram pp;
+    Compiler comp(spm_bytes, num_cores);
+    pp.plan = comp.compile(prog);
+    pp.layout = layoutProgram(pp.plan, num_cores, spm_bytes);
+    return pp;
+}
+
+/** Make one op source per core for @p pp on mode @p mode. */
+inline std::vector<std::unique_ptr<OpSource>>
+makeSources(const PreparedProgram &pp, std::uint32_t num_cores,
+            SystemMode mode, std::uint32_t spm_bytes)
+{
+    std::vector<std::unique_ptr<OpSource>> srcs;
+    const bool hybrid = mode != SystemMode::CacheOnly;
+    srcs.reserve(num_cores);
+    for (CoreId c = 0; c < num_cores; ++c)
+        srcs.push_back(std::make_unique<ProgramSource>(
+            pp.plan, pp.layout, c, num_cores, hybrid, spm_bytes));
+    return srcs;
+}
+
+/**
+ * Run a whole benchmark on a fresh system.
+ * @param params_override replaces the Table 1 defaults when set
+ */
+inline RunResults
+runNasBenchmark(NasBench b, SystemMode mode,
+                std::uint32_t num_cores = 64, double scale = 1.0,
+                const std::optional<SystemParams> &params_override =
+                    std::nullopt)
+{
+    SystemParams sp = params_override
+        ? *params_override
+        : SystemParams::forMode(mode, num_cores);
+    sp.mode = mode;
+    sp.numCores = num_cores;
+    System sys(sp);
+    const ProgramDecl prog = buildNasBenchmark(b, num_cores, scale);
+    PreparedProgram pp =
+        prepareProgram(prog, num_cores, sp.spmBytes);
+    if (!sys.run(makeSources(pp, num_cores, mode, sp.spmBytes)))
+        fatal("runNasBenchmark: simulation did not complete");
+    return sys.results();
+}
+
+} // namespace spmcoh
+
+#endif // SPMCOH_WORKLOADS_EXPERIMENTS_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the energy model (McPAT substitute) and the OS support
+ * layer of Sec. 4.1 (SPM virtualization, permissions, lazy switch).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/EnergyModel.hh"
+#include "os/OsSpmManager.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+RunCounters
+baseCounters()
+{
+    RunCounters c;
+    c.cycles = 100000;
+    c.numCores = 64;
+    c.instructions = 5000000;
+    c.l1dAccesses = 1000000;
+    c.l1dMisses = 50000;
+    c.l1iAccesses = 800000;
+    c.l2Accesses = 60000;
+    c.dirTxns = 60000;
+    c.tlbAccesses = 1000000;
+    c.tlbMisses = 500;
+    c.memLines = 20000;
+    c.flitHops = 3000000;
+    return c;
+}
+
+TEST(EnergyModel, MoreWorkMeansMoreEnergy)
+{
+    EnergyModel em;
+    RunCounters a = baseCounters();
+    RunCounters b = a;
+    b.l1dAccesses *= 2;
+    b.memLines *= 2;
+    EXPECT_GT(em.compute(b).total(), em.compute(a).total());
+}
+
+TEST(EnergyModel, CacheOnlySystemHasNoHybridEnergy)
+{
+    EnergyParams p;
+    p.hybridStructuresPresent = false;
+    EnergyModel em(p);
+    RunCounters c = baseCounters();
+    c.spmAccesses = 123456;  // must be ignored
+    const EnergyBreakdown e = em.compute(c);
+    EXPECT_EQ(e.spms, 0.0);
+    EXPECT_EQ(e.cohProt, 0.0);
+    EXPECT_GT(e.caches, 0.0);
+    EXPECT_GT(e.cpus, 0.0);
+}
+
+TEST(EnergyModel, UnusedCohStructuresAreGated)
+{
+    EnergyModel em;
+    RunCounters used = baseCounters();
+    used.guardedAccesses = 1000;
+    used.spmDirLookups = 1000;
+    used.filterLookups = 1000;
+    RunCounters idle = baseCounters();  // zero protocol activity
+    idle.spmAccesses = used.spmAccesses;
+    // Same cycles: gated leakage must make idle CohProt smaller even
+    // before dynamic energy differences.
+    EXPECT_LT(em.compute(idle).cohProt, em.compute(used).cohProt);
+}
+
+TEST(EnergyModel, StaticEnergyScalesWithTime)
+{
+    EnergyModel em;
+    RunCounters a = baseCounters();
+    RunCounters b = a;
+    b.cycles *= 3;
+    const EnergyBreakdown ea = em.compute(a);
+    const EnergyBreakdown eb = em.compute(b);
+    EXPECT_GT(eb.cpus, ea.cpus);
+    EXPECT_GT(eb.caches, ea.caches);
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal)
+{
+    EnergyModel em;
+    const EnergyBreakdown e = em.compute(baseCounters());
+    EXPECT_DOUBLE_EQ(e.total(), e.cpus + e.caches + e.noc +
+                                    e.others + e.spms + e.cohProt);
+}
+
+TEST(OsSpm, CompatibilityModeBlocksSpmAccess)
+{
+    OsSpmManager os(4, 32 * 1024);
+    Spm spm(32 * 1024, 2, "spm0");
+    ProcessContext &legacy = os.createProcess(false);
+    os.schedule(0, legacy.pid, spm);
+    EXPECT_EQ(os.checkAccess(0, 0), SpmFault::MappingDisabled);
+}
+
+TEST(OsSpm, PermissionMaskEnforced)
+{
+    OsSpmManager os(4, 32 * 1024);
+    Spm spm(32 * 1024, 2, "spm0");
+    // Process may touch SPMs 0 and 2 only.
+    ProcessContext &p = os.createProcess(true, 0b0101);
+    os.schedule(0, p.pid, spm);
+    EXPECT_EQ(os.checkAccess(0, 0), SpmFault::None);
+    EXPECT_EQ(os.checkAccess(0, 1), SpmFault::PermissionDenied);
+    EXPECT_EQ(os.checkAccess(0, 2), SpmFault::None);
+    EXPECT_EQ(os.checkAccess(0, 3), SpmFault::PermissionDenied);
+}
+
+TEST(OsSpm, RangeRegistersSetOnSchedule)
+{
+    OsSpmManager os(8, 32 * 1024);
+    Spm spm(32 * 1024, 2, "spm3");
+    ProcessContext &p = os.createProcess(true, ~0ull);
+    os.schedule(3, p.pid, spm);
+    AddressMap am(8, 32 * 1024);
+    EXPECT_EQ(p.localVirtBase, am.localSpmBase(3));
+    EXPECT_EQ(p.localVirtEnd, am.localSpmBase(3) + 32 * 1024);
+    EXPECT_EQ(p.globalVirtBase, AddressMap::defaultSpmBase);
+}
+
+TEST(OsSpm, LazySpmSwitchPreservesContents)
+{
+    OsSpmManager os(1, 1024);
+    Spm spm(1024, 2, "spm0");
+    ProcessContext &a = os.createProcess(true, 1);
+    ProcessContext &b = os.createProcess(true, 1);
+
+    os.schedule(0, a.pid, spm);
+    spm.write(0, 8, 0xAAAA);
+    // B takes the core: A's image is saved lazily.
+    os.schedule(0, b.pid, spm);
+    spm.write(0, 8, 0xBBBB);
+    // A returns: its image is restored.
+    os.schedule(0, a.pid, spm);
+    EXPECT_EQ(spm.read(0, 8), 0xAAAAu);
+    // And B's image survives too.
+    os.schedule(0, b.pid, spm);
+    EXPECT_EQ(spm.read(0, 8), 0xBBBBu);
+    EXPECT_GE(os.statGroup().value("lazySaves"), 3u);
+}
+
+TEST(OsSpm, ReschedulingSameProcessIsCheap)
+{
+    OsSpmManager os(1, 1024);
+    Spm spm(1024, 2, "spm0");
+    ProcessContext &a = os.createProcess(true, 1);
+    os.schedule(0, a.pid, spm);
+    spm.write(8, 8, 42);
+    os.schedule(0, a.pid, spm);  // same owner: no save/restore
+    EXPECT_EQ(spm.read(8, 8), 42u);
+    EXPECT_EQ(os.statGroup().value("lazySaves"), 0u);
+}
+
+} // namespace
+} // namespace spmcoh

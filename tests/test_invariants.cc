@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cross-matrix invariant sweep: every benchmark model on every system
+ * mode (small machine, reduced scale) must satisfy the accounting and
+ * protocol invariants the figures depend on. These are the checks
+ * that make the bench harness outputs trustworthy:
+ *
+ *  - traffic classes partition total packets, and only the classes a
+ *    mode can generate are non-zero;
+ *  - phase cycles partition each core's execution time;
+ *  - filter counters are consistent (lookups = hits + misses;
+ *    hit ratio well-formed);
+ *  - the protocol never squashes or diverts when data sets are
+ *    disjoint (Sec. 5.3's observation);
+ *  - all DMA tags quiesce and every directory transaction drains;
+ *  - runs are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/Experiments.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+struct Cfg
+{
+    NasBench bench;
+    SystemMode mode;
+};
+
+std::string
+cfgName(const ::testing::TestParamInfo<Cfg> &info)
+{
+    const char *m =
+        info.param.mode == SystemMode::CacheOnly ? "Cache"
+        : info.param.mode == SystemMode::HybridIdeal ? "Ideal"
+                                                     : "Proto";
+    return std::string(nasBenchName(info.param.bench)) + m;
+}
+
+class Matrix : public ::testing::TestWithParam<Cfg>
+{
+  protected:
+    static constexpr std::uint32_t cores = 4;
+    static constexpr double scale = 0.2;
+};
+
+TEST_P(Matrix, AccountingInvariantsHold)
+{
+    const Cfg cfg = GetParam();
+    SystemParams sp = SystemParams::forMode(cfg.mode, cores);
+    System sys(sp);
+    const ProgramDecl prog =
+        buildNasBenchmark(cfg.bench, cores, scale);
+    PreparedProgram pp = prepareProgram(prog, cores, sp.spmBytes);
+    ASSERT_TRUE(
+        sys.run(makeSources(pp, cores, cfg.mode, sp.spmBytes)));
+    const RunResults r = sys.results();
+
+    // 1. Traffic classes partition the total.
+    std::uint64_t class_sum = 0;
+    for (std::size_t c = 0; c < numTrafficClasses; ++c)
+        class_sum += r.traffic.packets[c];
+    EXPECT_EQ(class_sum, r.traffic.totalPackets());
+
+    // 2. Mode-specific class emptiness.
+    if (cfg.mode == SystemMode::CacheOnly) {
+        EXPECT_EQ(r.traffic.classPackets(TrafficClass::Dma), 0u);
+        EXPECT_EQ(r.traffic.classPackets(TrafficClass::CohProt), 0u);
+        EXPECT_EQ(r.counters.spmAccesses, 0u);
+    } else {
+        EXPECT_GT(r.counters.spmAccesses, 0u);
+        EXPECT_GT(r.traffic.classPackets(TrafficClass::Dma), 0u);
+    }
+    if (cfg.mode == SystemMode::HybridIdeal &&
+        cfg.bench != NasBench::SP) {
+        // Ideal coherence: data may still move, tracking never does;
+        // with disjoint data sets (all six benchmarks) there is no
+        // movement either.
+        EXPECT_EQ(r.traffic.classPackets(TrafficClass::CohProt), 0u);
+    }
+
+    // 3. Phase cycles partition each core's time.
+    for (CoreId c = 0; c < cores; ++c) {
+        const CoreModel &core = sys.coreAt(c);
+        const std::uint64_t sum =
+            core.phaseCycles(ExecPhase::Control) +
+            core.phaseCycles(ExecPhase::Sync) +
+            core.phaseCycles(ExecPhase::Work);
+        EXPECT_EQ(sum, core.finishTick()) << "core " << c;
+    }
+
+    // 4. Filter accounting.
+    std::uint64_t lookups = 0, hits = 0, misses = 0, spmdir_hits = 0;
+    for (CoreId c = 0; c < cores; ++c) {
+        const StatGroup &g = sys.cohAt(c).statGroup();
+        lookups += g.value("filterLookups");
+        hits += g.value("filterHits");
+        misses += g.value("filterMisses");
+        spmdir_hits += g.value("spmdirHits");
+    }
+    EXPECT_EQ(lookups, hits + misses + spmdir_hits);
+    EXPECT_GE(r.filterHitRatio, 0.0);
+    EXPECT_LE(r.filterHitRatio, 1.0);
+
+    // 5. Disjoint data sets: no diversion, no squashes (Sec. 5.3).
+    EXPECT_EQ(r.squashes, 0u);
+    EXPECT_EQ(r.localSpmServed, 0u);
+    EXPECT_EQ(r.remoteSpmServed, 0u);
+
+    // 6. Everything drained.
+    for (CoreId c = 0; c < cores; ++c) {
+        EXPECT_TRUE(sys.dmacAt(c).quiescent(0xffffffff));
+        EXPECT_TRUE(sys.coreAt(c).finished());
+    }
+    EXPECT_EQ(sys.events().pending(), 0u);
+
+    // 7. Energy is positive and composed of its parts.
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_NEAR(r.energy.total(),
+                r.energy.cpus + r.energy.caches + r.energy.noc +
+                    r.energy.others + r.energy.spms + r.energy.cohProt,
+                1e-9 * r.energy.total());
+}
+
+TEST_P(Matrix, Deterministic)
+{
+    const Cfg cfg = GetParam();
+    auto once = [&] {
+        SystemParams sp = SystemParams::forMode(cfg.mode, cores);
+        System sys(sp);
+        const ProgramDecl prog =
+            buildNasBenchmark(cfg.bench, cores, scale);
+        PreparedProgram pp =
+            prepareProgram(prog, cores, sp.spmBytes);
+        EXPECT_TRUE(
+            sys.run(makeSources(pp, cores, cfg.mode, sp.spmBytes)));
+        const RunResults r = sys.results();
+        return std::make_tuple(r.cycles, r.traffic.totalPackets(),
+                               r.counters.instructions,
+                               r.filterHits);
+    };
+    EXPECT_EQ(once(), once());
+}
+
+std::vector<Cfg>
+allConfigs()
+{
+    std::vector<Cfg> v;
+    for (NasBench b : allNasBenchmarks())
+        for (SystemMode m : {SystemMode::CacheOnly,
+                             SystemMode::HybridIdeal,
+                             SystemMode::HybridProto})
+            v.push_back(Cfg{b, m});
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarksAllModes, Matrix,
+                         ::testing::ValuesIn(allConfigs()), cfgName);
+
+} // namespace
+} // namespace spmcoh

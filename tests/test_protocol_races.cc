@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Regression tests for protocol races found during bring-up, plus
+ * stress tests of the mechanisms that close them:
+ *
+ *  1. A control packet must never overtake a data packet between the
+ *     same endpoints (mesh point-to-point ordering). Without it, a
+ *     GetX overtakes the preceding PutM and the directory sees a
+ *     request from a core it believes owns the line.
+ *  2. The directory must stay blocked until the requestor's Unblock
+ *     lands, or a forward for the next transaction can reach the
+ *     requestor before its fill.
+ *  3. A line evicted twice before the first PutAck returns must keep
+ *     its writeback-buffer entry alive (pendingPuts counting).
+ *  4. Reads must not overtake writebacks at the memory controller
+ *     (directory-side write buffer forwarding).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/Rng.hh"
+#include "system/System.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+SystemParams
+smallParams()
+{
+    return SystemParams::forMode(SystemMode::HybridProto, 4);
+}
+
+/** Helper: synchronous-looking load through the event queue. */
+std::uint64_t
+doLoad(System &sys, CoreId c, Addr a)
+{
+    Tick lat = 0;
+    if (auto v = sys.l1dAt(c).tryLoad(a, 8, sys.events().now(), 1,
+                                      lat))
+        return *v;
+    std::uint64_t out = 0;
+    bool done = false;
+    EXPECT_TRUE(sys.l1dAt(c).startLoad(a, 8, 1,
+                                       [&](std::uint64_t v) {
+        out = v;
+        done = true;
+    }));
+    sys.events().run();
+    EXPECT_TRUE(done);
+    return out;
+}
+
+void
+doStore(System &sys, CoreId c, Addr a, std::uint64_t v)
+{
+    Tick lat = 0;
+    if (sys.l1dAt(c).tryStore(a, 8, v, sys.events().now(), 1, lat))
+        return;
+    bool done = false;
+    EXPECT_TRUE(sys.l1dAt(c).startStore(a, 8, v, 1,
+                                        [&](std::uint64_t) {
+        done = true;
+    }));
+    sys.events().run();
+    EXPECT_TRUE(done);
+}
+
+/**
+ * Race 1+3 regression: rapid store/evict/store cycles on one line
+ * from one core put a GetX behind a PutM on the wire; the protocol
+ * must survive and the final values must be correct.
+ */
+TEST(ProtocolRaces, StoreEvictStoreSameLine)
+{
+    System sys(smallParams());
+    const Addr a = 0x900000;
+    const Addr set_stride = (32 * 1024) / 4;
+    // Interleave: dirty the line, force its eviction by filling the
+    // set, immediately re-dirty it -- WITHOUT draining the queue in
+    // between, so the messages actually race on the mesh.
+    for (int round = 0; round < 20; ++round) {
+        Tick lat = 0;
+        std::uint64_t pending = 0;
+        auto bump = [&](std::uint64_t) { --pending; };
+        if (!sys.l1dAt(0).tryStore(a, 8, round * 10, sys.events().now(),
+                                   1, lat)) {
+            ++pending;
+            ASSERT_TRUE(sys.l1dAt(0).startStore(a, 8, round * 10, 1,
+                                                bump));
+        }
+        for (int w = 1; w <= 4; ++w) {
+            const Addr conflict =
+                a + static_cast<Addr>(w) * set_stride;
+            if (!sys.l1dAt(0).tryStore(conflict, 8, w,
+                                       sys.events().now(), 1, lat)) {
+                ++pending;
+                if (!sys.l1dAt(0).startStore(conflict, 8, w, 1, bump))
+                    --pending;  // MSHR full: fine, skip
+            }
+        }
+        sys.events().run();
+    }
+    sys.events().run();
+    EXPECT_EQ(doLoad(sys, 1, a), 190u);  // last round's value
+}
+
+/**
+ * Race 2 regression: a second core requests a line immediately after
+ * the first; the forward must not outrun the first core's fill.
+ */
+TEST(ProtocolRaces, BackToBackRequestorsSameLine)
+{
+    System sys(smallParams());
+    const Addr a = 0xa00000;
+    sys.memory().write64(a, 777);
+    // Issue both loads without draining in between.
+    std::uint64_t v0 = 0, v1 = 0;
+    bool d0 = false, d1 = false;
+    ASSERT_TRUE(sys.l1dAt(0).startLoad(a, 8, 1, [&](std::uint64_t v) {
+        v0 = v;
+        d0 = true;
+    }));
+    ASSERT_TRUE(sys.l1dAt(1).startLoad(a, 8, 1, [&](std::uint64_t v) {
+        v1 = v;
+        d1 = true;
+    }));
+    sys.events().run();
+    EXPECT_TRUE(d0 && d1);
+    EXPECT_EQ(v0, 777u);
+    EXPECT_EQ(v1, 777u);
+}
+
+/**
+ * Race 4 regression: force an L2 dirty eviction immediately followed
+ * by a re-read of the evicted line. The read must observe the
+ * written-back data even though the read request is a smaller packet
+ * than the writeback.
+ */
+TEST(ProtocolRaces, ReadAfterL2Writeback)
+{
+    SystemParams p = smallParams();
+    p.dir.l2SizeBytes = 4 * 1024;  // tiny L2: evictions guaranteed
+    System sys(p);
+    Rng rng(7);
+    std::unordered_map<Addr, std::uint64_t> ref;
+    // Dirty many lines (through L1 evictions they reach L2), then
+    // stream more lines through the same L2 sets, then re-read.
+    for (int i = 0; i < 400; ++i) {
+        const Addr a = 0xb00000 +
+            rng.below(256) * lineBytes * 4;  // same home slices often
+        const std::uint64_t v = rng.next();
+        doStore(sys, static_cast<CoreId>(rng.below(4)), a, v);
+        ref[a] = v;
+    }
+    for (auto &[a, v] : ref)
+        EXPECT_EQ(doLoad(sys, static_cast<CoreId>(a % 4), a), v);
+}
+
+/**
+ * Mixed random stress across all race mechanisms at once: small L1,
+ * tiny L2, tiny directory, four cores hammering a handful of lines
+ * with no quiescing between operations. The run must complete with
+ * a coherent outcome (checked against a reference memory once all
+ * traffic drains).
+ */
+class RaceStress : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RaceStress, NoDrainRandomTraffic)
+{
+    SystemParams p = smallParams();
+    p.l1d.sizeBytes = 1024;      // 16 lines: constant evictions
+    p.dir.l2SizeBytes = 2048;
+    p.dir.dirEntries = 32;
+    System sys(p);
+    Rng rng(GetParam());
+    // Apply stores without draining; track the LAST issued store per
+    // address per core-ordering (single writer per address here to
+    // keep the reference exact under concurrency).
+    std::unordered_map<Addr, std::uint64_t> ref;
+    std::uint32_t outstanding = 0;
+    for (int step = 0; step < 2000; ++step) {
+        const Addr a = 0xc00000 + rng.below(48) * lineBytes +
+                       (rng.below(8)) * 8;
+        const CoreId writer = static_cast<CoreId>(
+            (a >> 3) % 4);  // fixed writer per word: race-free
+        const std::uint64_t v = rng.next();
+        Tick lat = 0;
+        if (sys.l1dAt(writer).tryStore(a, 8, v, sys.events().now(), 1,
+                                       lat)) {
+            ref[a] = v;
+        } else if (sys.l1dAt(writer).startStore(
+                       a, 8, v, 1, [&outstanding](std::uint64_t) {
+                           --outstanding;
+                       })) {
+            ++outstanding;
+            ref[a] = v;
+        }
+        // Occasionally let some traffic drain, otherwise keep racing.
+        if (step % 97 == 0)
+            sys.events().run();
+    }
+    sys.events().run();
+    EXPECT_EQ(outstanding, 0u);
+    for (auto &[a, v] : ref)
+        EXPECT_EQ(doLoad(sys, static_cast<CoreId>(rng.below(4)), a),
+                  v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaceStress,
+                         ::testing::Values(3, 17, 3331));
+
+} // namespace
+} // namespace spmcoh

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, the
+ * pseudo-LRU tree, the deterministic RNG and the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/EventQueue.hh"
+#include "sim/PseudoLru.hh"
+#include "sim/Rng.hh"
+#include "sim/Stats.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsAreFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 10)
+            eq.scheduleIn(7, chain);
+    };
+    eq.scheduleIn(7, chain);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.now(), 70u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), PanicError);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue eq;
+    bool late = false;
+    eq.schedule(10, [] {});
+    eq.schedule(100, [&] { late = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(late);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(late);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue eq;
+    int n = 0;
+    eq.schedule(1, [&] { ++n; });
+    eq.schedule(2, [&] { ++n; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(n, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(n, 2);
+}
+
+TEST(PseudoLru, SequentialTouchesMakeOldestVictim)
+{
+    PseudoLru lru(4);
+    // Touch every way in order: the tree pseudo-LRU victim walk must
+    // land on the oldest (way 0).
+    lru.touch(0);
+    lru.touch(1);
+    lru.touch(2);
+    lru.touch(3);
+    EXPECT_EQ(lru.victim(), 0u);
+    // And never the most recently touched way.
+    lru.touch(2);
+    EXPECT_NE(lru.victim(), 2u);
+}
+
+TEST(PseudoLru, TouchProtectsRecentlyUsed)
+{
+    PseudoLru lru(8);
+    for (std::uint32_t round = 0; round < 100; ++round) {
+        const std::uint32_t v = lru.victim();
+        lru.touch(v);
+        // The victim right after a touch must differ.
+        EXPECT_NE(lru.victim(), v);
+    }
+}
+
+TEST(PseudoLru, NonPow2WaysStaysInRange)
+{
+    PseudoLru lru(48);
+    for (std::uint32_t i = 0; i < 48; ++i)
+        lru.touch(i);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint32_t v = lru.victim();
+        EXPECT_LT(v, 48u);
+        lru.touch(v);
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t x = a.next();
+        EXPECT_EQ(x, b.next());
+        diverged = diverged || x != c.next();
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, UniformCoversRange)
+{
+    Rng r(9);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, 0.05);
+    EXPECT_GT(hi, 0.95);
+}
+
+TEST(Stats, CountersAccumulateAndDump)
+{
+    StatGroup g("grp");
+    ++g.counter("a");
+    g.counter("a") += 4;
+    ++g.counter("b");
+    EXPECT_EQ(g.value("a"), 5u);
+    EXPECT_EQ(g.value("b"), 1u);
+    EXPECT_EQ(g.value("missing"), 0u);
+    g.reset();
+    EXPECT_EQ(g.value("a"), 0u);
+}
+
+TEST(Stats, HistogramBucketsAndMean)
+{
+    Histogram h({10, 100});
+    h.sample(5);
+    h.sample(50);
+    h.sample(500);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), (5 + 50 + 500) / 3.0);
+    EXPECT_EQ(h.bucketCounts()[0], 1u);
+    EXPECT_EQ(h.bucketCounts()[1], 1u);
+    EXPECT_EQ(h.bucketCounts()[2], 1u);
+    EXPECT_EQ(h.maxValue(), 500u);
+}
+
+TEST(Types, LineHelpers)
+{
+    EXPECT_EQ(lineAlign(0x12345), 0x12340u);
+    EXPECT_EQ(lineOffset(0x12345), 5u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(48));
+    EXPECT_EQ(log2i(4096), 12u);
+    EXPECT_EQ(divCeil(10, 4), 3u);
+}
+
+} // namespace
+} // namespace spmcoh

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the SPM + DMAC substrate: address map, SPM storage,
+ * coherent dma-get/dma-put, tag synchronization and queue limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/System.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+SystemParams
+smallParams(SystemMode m = SystemMode::HybridProto)
+{
+    return SystemParams::forMode(m, 4);
+}
+
+TEST(AddressMap, SpmRangeChecks)
+{
+    AddressMap am(64, 32 * 1024);
+    const Addr base = AddressMap::defaultSpmBase;
+    EXPECT_FALSE(am.isSpmAddr(base - 1));
+    EXPECT_TRUE(am.isSpmAddr(base));
+    EXPECT_TRUE(am.isSpmAddr(base + 64 * 32 * 1024 - 1));
+    EXPECT_FALSE(am.isSpmAddr(base + 64 * 32 * 1024));
+    EXPECT_EQ(am.spmOwner(base + 32 * 1024 * 5 + 100), 5u);
+    EXPECT_EQ(am.spmOffset(base + 32 * 1024 * 5 + 100), 100u);
+    EXPECT_EQ(am.localSpmBase(3), base + 3 * 32 * 1024);
+}
+
+TEST(Spm, ReadWriteRoundTrip)
+{
+    Spm s(32 * 1024, 2, "spm");
+    s.write(100, 8, 0x1122334455667788ULL);
+    EXPECT_EQ(s.read(100, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(s.read(100, 4), 0x55667788u);
+    s.write(0, 1, 0xff);
+    EXPECT_EQ(s.read(0, 1), 0xffu);
+    EXPECT_EQ(s.statGroup().value("reads"), 3u);
+    EXPECT_EQ(s.statGroup().value("writes"), 2u);
+}
+
+TEST(Spm, OutOfRangePanics)
+{
+    Spm s(1024, 2, "spm");
+    EXPECT_THROW(s.read(1020, 8), PanicError);
+}
+
+TEST(DmaGet, CopiesMemoryIntoSpm)
+{
+    System sys(smallParams());
+    const Addr gm = 0x100000;
+    for (std::uint32_t i = 0; i < 16; ++i)
+        sys.memory().write64(gm + i * 8, i + 1);
+
+    DmaCommand c;
+    c.isGet = true;
+    c.gmAddr = gm;
+    c.spmAddr = sys.addressMap().localSpmBase(1);
+    c.bytes = 128;
+    c.tag = 3;
+    EXPECT_TRUE(sys.dmacAt(1).enqueue(c));
+    bool synced = false;
+    sys.dmacAt(1).sync(1u << 3, [&] { synced = true; });
+    sys.events().run();
+    EXPECT_TRUE(synced);
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(sys.spmAt(1).read(i * 8, 8), i + 1);
+}
+
+TEST(DmaGet, SnoopsDirtyCacheData)
+{
+    System sys(smallParams());
+    const Addr gm = 0x200000;
+    // Core 0 dirties the line in its L1.
+    Tick lat = 0;
+    if (!sys.l1dAt(0).tryStore(gm, 8, 4242, 0, 1, lat)) {
+        bool done = false;
+        ASSERT_TRUE(sys.l1dAt(0).startStore(gm, 8, 4242, 1,
+                                            [&](std::uint64_t) {
+            done = true;
+        }));
+        sys.events().run();
+        ASSERT_TRUE(done);
+    }
+    // dma-get must observe the cached value, not stale memory.
+    DmaCommand c;
+    c.isGet = true;
+    c.gmAddr = gm;
+    c.spmAddr = sys.addressMap().localSpmBase(2);
+    c.bytes = lineBytes;
+    c.tag = 0;
+    ASSERT_TRUE(sys.dmacAt(2).enqueue(c));
+    sys.events().run();
+    EXPECT_EQ(sys.spmAt(2).read(0, 8), 4242u);
+    // The owner keeps its dirty copy (snapshot semantics).
+    EXPECT_EQ(*sys.l1dAt(0).peekState(gm), L1State::M);
+}
+
+TEST(DmaPut, WritesMemoryAndInvalidatesCaches)
+{
+    System sys(smallParams());
+    const Addr gm = 0x300000;
+    // Cache the line (clean) at cores 0 and 1.
+    bool d0 = false;
+    ASSERT_TRUE(sys.l1dAt(0).startLoad(gm, 8, 1,
+                                       [&](std::uint64_t) {
+        d0 = true;
+    }));
+    sys.events().run();
+    ASSERT_TRUE(d0);
+    bool d1 = false;
+    ASSERT_TRUE(sys.l1dAt(1).startLoad(gm, 8, 1,
+                                       [&](std::uint64_t) {
+        d1 = true;
+    }));
+    sys.events().run();
+    ASSERT_TRUE(d1);
+
+    // Fill SPM of core 3 and dma-put it over the line.
+    for (std::uint32_t i = 0; i < 8; ++i)
+        sys.spmAt(3).write(i * 8, 8, 1000 + i);
+    DmaCommand c;
+    c.isGet = false;
+    c.gmAddr = gm;
+    c.spmAddr = sys.addressMap().localSpmBase(3);
+    c.bytes = lineBytes;
+    c.tag = 1;
+    ASSERT_TRUE(sys.dmacAt(3).enqueue(c));
+    sys.events().run();
+
+    // Caches invalidated...
+    EXPECT_FALSE(sys.l1dAt(0).peekState(gm).has_value());
+    EXPECT_FALSE(sys.l1dAt(1).peekState(gm).has_value());
+    // ...and memory updated.
+    EXPECT_EQ(sys.memory().read64(gm), 1000u);
+    EXPECT_EQ(sys.memory().read64(gm + 56), 1007u);
+}
+
+TEST(Dmac, SyncWaitsForAllTagsInMask)
+{
+    System sys(smallParams());
+    DmaCommand a;
+    a.isGet = true;
+    a.gmAddr = 0x400000;
+    a.spmAddr = sys.addressMap().localSpmBase(0);
+    a.bytes = 4096;
+    a.tag = 0;
+    DmaCommand b = a;
+    b.gmAddr = 0x500000;
+    b.spmAddr = sys.addressMap().localSpmBase(0) + 4096;
+    b.tag = 5;
+    ASSERT_TRUE(sys.dmacAt(0).enqueue(a));
+    ASSERT_TRUE(sys.dmacAt(0).enqueue(b));
+    EXPECT_FALSE(sys.dmacAt(0).quiescent(1u << 0));
+    EXPECT_FALSE(sys.dmacAt(0).quiescent(1u << 5));
+    int fired = 0;
+    sys.dmacAt(0).sync((1u << 0) | (1u << 5), [&] { ++fired; });
+    sys.events().run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sys.dmacAt(0).quiescent(0xffffffff));
+}
+
+TEST(Dmac, TagTokensBlockSync)
+{
+    System sys(smallParams());
+    sys.dmacAt(0).addTagToken(2);
+    EXPECT_FALSE(sys.dmacAt(0).quiescent(1u << 2));
+    bool fired = false;
+    sys.dmacAt(0).sync(1u << 2, [&] { fired = true; });
+    EXPECT_FALSE(fired);
+    sys.dmacAt(0).completeTagToken(2);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Dmac, RejectsMisalignedAndForeignTransfers)
+{
+    System sys(smallParams());
+    DmaCommand c;
+    c.isGet = true;
+    c.gmAddr = 0x100001;  // misaligned
+    c.spmAddr = sys.addressMap().localSpmBase(0);
+    c.bytes = lineBytes;
+    EXPECT_THROW(sys.dmacAt(0).enqueue(c), FatalError);
+    c.gmAddr = 0x100000;
+    c.bytes = 60;         // not a line multiple
+    EXPECT_THROW(sys.dmacAt(0).enqueue(c), FatalError);
+    c.bytes = lineBytes;
+    c.spmAddr = sys.addressMap().localSpmBase(1);  // remote SPM
+    EXPECT_THROW(sys.dmacAt(0).enqueue(c), FatalError);
+}
+
+TEST(Dmac, CommandQueueFillsAndDrains)
+{
+    System sys(smallParams());
+    DmacParams dp;
+    std::uint32_t accepted = 0;
+    for (std::uint32_t i = 0; i < dp.cmdQueueEntries + 8; ++i) {
+        DmaCommand c;
+        c.isGet = true;
+        c.gmAddr = 0x600000 + i * 0x1000;
+        c.spmAddr = sys.addressMap().localSpmBase(0);
+        c.bytes = lineBytes;
+        c.tag = 0;
+        if (sys.dmacAt(0).enqueue(c))
+            ++accepted;
+    }
+    EXPECT_GE(accepted, dp.cmdQueueEntries);
+    EXPECT_LT(accepted, dp.cmdQueueEntries + 8);
+    sys.events().run();
+    // After draining, new commands are accepted again.
+    DmaCommand c;
+    c.isGet = true;
+    c.gmAddr = 0x700000;
+    c.spmAddr = sys.addressMap().localSpmBase(0);
+    c.bytes = lineBytes;
+    EXPECT_TRUE(sys.dmacAt(0).enqueue(c));
+    sys.events().run();
+}
+
+TEST(Dmac, PutThenGetReusesBufferSafely)
+{
+    // In-order command processing: a put of the old buffer contents
+    // followed by a get into the same buffer must not corrupt data.
+    System sys(smallParams());
+    const Addr gm_old = 0x800000;
+    const Addr gm_new = 0x900000;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        sys.spmAt(0).write(i * 8, 8, 7000 + i);
+        sys.memory().write64(gm_new + i * 8, 8000 + i);
+    }
+    DmaCommand put;
+    put.isGet = false;
+    put.gmAddr = gm_old;
+    put.spmAddr = sys.addressMap().localSpmBase(0);
+    put.bytes = lineBytes;
+    put.tag = 0;
+    DmaCommand get = put;
+    get.isGet = true;
+    get.gmAddr = gm_new;
+    ASSERT_TRUE(sys.dmacAt(0).enqueue(put));
+    ASSERT_TRUE(sys.dmacAt(0).enqueue(get));
+    sys.events().run();
+    EXPECT_EQ(sys.memory().read64(gm_old), 7000u);
+    EXPECT_EQ(sys.memory().read64(gm_old + 56), 7007u);
+    EXPECT_EQ(sys.spmAt(0).read(0, 8), 8000u);
+}
+
+} // namespace
+} // namespace spmcoh

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * End-to-end integration tests: whole benchmarks on small systems in
+ * all three modes, value equivalence between the cache-based and
+ * hybrid executions (the strongest protocol-correctness check),
+ * traffic sanity and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/Experiments.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+constexpr std::uint32_t cores = 4;
+constexpr double scale = 0.25;
+
+/** Coherent read of one word via a DMA snapshot at the directory. */
+std::uint64_t
+coherentRead64(System &sys, Addr addr)
+{
+    const Addr line = lineAlign(addr);
+    LineData out;
+    bool done = false;
+    sys.memNet().setHandler(Endpoint::Dmac, 0,
+                            [&](const Message &m) {
+        if (m.type == MsgType::DmaReadResp) {
+            out = m.data;
+            done = true;
+        }
+    });
+    Message m;
+    m.type = MsgType::DmaRead;
+    m.addr = line;
+    m.requestor = 0;
+    m.cls = TrafficClass::Dma;
+    sys.memNet().send(0, Endpoint::Dir,
+                      sys.memNet().homeSlice(line), m,
+                      TrafficClass::Dma);
+    sys.events().run();
+    EXPECT_TRUE(done);
+    return out.read64(lineOffset(addr) & ~7u);
+}
+
+struct RunOutput
+{
+    RunResults results;
+    std::vector<std::uint64_t> sample;  ///< coherent memory sample
+};
+
+RunOutput
+runAndSample(NasBench b, SystemMode mode)
+{
+    SystemParams sp = SystemParams::forMode(mode, cores);
+    System sys(sp);
+    const ProgramDecl prog = buildNasBenchmark(b, cores, scale);
+    PreparedProgram pp = prepareProgram(prog, cores, sp.spmBytes);
+    EXPECT_TRUE(
+        sys.run(makeSources(pp, cores, mode, sp.spmBytes)));
+    RunOutput out;
+    out.results = sys.results();
+    // Sample every SPM-written array at a fixed stride, plus the
+    // guarded arrays, through coherent DMA reads.
+    for (const ArrayDecl &a : prog.arrays) {
+        const Addr base = pp.layout.baseOf(a.id);
+        const std::uint64_t bytes = a.bytes;
+        for (Addr off = 0; off + 8 <= bytes; off += 1024)
+            out.sample.push_back(coherentRead64(sys, base + off));
+    }
+    return out;
+}
+
+class ModeEquivalence : public ::testing::TestWithParam<NasBench>
+{
+};
+
+TEST_P(ModeEquivalence, FinalMemoryMatchesCacheBaseline)
+{
+    const NasBench b = GetParam();
+    const RunOutput cache = runAndSample(b, SystemMode::CacheOnly);
+    const RunOutput proto = runAndSample(b, SystemMode::HybridProto);
+    const RunOutput ideal = runAndSample(b, SystemMode::HybridIdeal);
+    ASSERT_EQ(cache.sample.size(), proto.sample.size());
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < cache.sample.size(); ++i)
+        mismatches += cache.sample[i] != proto.sample[i];
+    EXPECT_EQ(mismatches, 0u) << nasBenchName(b);
+    for (std::size_t i = 0; i < cache.sample.size(); ++i)
+        if (cache.sample[i] != ideal.sample[i])
+            ++mismatches;
+    EXPECT_EQ(mismatches, 0u) << nasBenchName(b) << " (ideal)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, ModeEquivalence,
+    ::testing::Values(NasBench::CG, NasBench::IS, NasBench::MG),
+    [](const ::testing::TestParamInfo<NasBench> &info) {
+        return nasBenchName(info.param);
+    });
+
+TEST(Integration, HybridUsesSpmsAndDma)
+{
+    const RunResults r =
+        runNasBenchmark(NasBench::CG, SystemMode::HybridProto, cores,
+                        scale);
+    EXPECT_GT(r.counters.spmAccesses, 0u);
+    EXPECT_GT(r.counters.dmaLines, 0u);
+    EXPECT_GT(r.traffic.classPackets(TrafficClass::Dma), 0u);
+    EXPECT_GT(r.traffic.classPackets(TrafficClass::CohProt), 0u);
+    EXPECT_GT(r.counters.guardedAccesses, 0u);
+}
+
+TEST(Integration, CacheModeHasNoHybridTraffic)
+{
+    const RunResults r =
+        runNasBenchmark(NasBench::CG, SystemMode::CacheOnly, cores,
+                        scale);
+    EXPECT_EQ(r.counters.spmAccesses, 0u);
+    EXPECT_EQ(r.traffic.classPackets(TrafficClass::Dma), 0u);
+    EXPECT_EQ(r.traffic.classPackets(TrafficClass::CohProt), 0u);
+    EXPECT_GT(r.traffic.classPackets(TrafficClass::Read), 0u);
+}
+
+TEST(Integration, IdealProtocolAddsNoTrackingTraffic)
+{
+    const RunResults ideal = runNasBenchmark(
+        NasBench::CG, SystemMode::HybridIdeal, cores, scale);
+    const RunResults proto = runNasBenchmark(
+        NasBench::CG, SystemMode::HybridProto, cores, scale);
+    // The proposed protocol adds CohProt packets over ideal.
+    EXPECT_GT(proto.traffic.classPackets(TrafficClass::CohProt),
+              ideal.traffic.classPackets(TrafficClass::CohProt));
+    // Execution time: the protocol should not be meaningfully faster
+    // than ideal coherence. At this tiny scale second-order timing
+    // perturbation (issue-time shifts changing prefetch/eviction
+    // interleaving) can swing a few percent either way, so allow
+    // slack rather than asserting strict ordering.
+    EXPECT_GE(double(proto.cycles) * 1.10, double(ideal.cycles));
+}
+
+TEST(Integration, FilterHitRatioIsHighWithoutAliasing)
+{
+    const RunResults r = runNasBenchmark(
+        NasBench::CG, SystemMode::HybridProto, cores, scale);
+    EXPECT_GT(r.filterHits + r.filterMisses, 0u);
+    EXPECT_GT(r.filterHitRatio, 0.80);
+    // Sec. 5.3: no aliasing -> no ordering squashes, no filter
+    // invalidations from guarded data.
+    EXPECT_EQ(r.squashes, 0u);
+}
+
+TEST(Integration, PhaseBreakdownOnlyInHybrid)
+{
+    const RunResults cache = runNasBenchmark(
+        NasBench::IS, SystemMode::CacheOnly, cores, scale);
+    const RunResults hybrid = runNasBenchmark(
+        NasBench::IS, SystemMode::HybridProto, cores, scale);
+    using P = ExecPhase;
+    EXPECT_EQ(cache.phaseCycles[int(P::Control)], 0u);
+    EXPECT_EQ(cache.phaseCycles[int(P::Sync)], 0u);
+    EXPECT_GT(hybrid.phaseCycles[int(P::Control)], 0u);
+    EXPECT_GT(hybrid.phaseCycles[int(P::Sync)], 0u);
+    EXPECT_GT(hybrid.phaseCycles[int(P::Work)], 0u);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    const RunResults a = runNasBenchmark(
+        NasBench::MG, SystemMode::HybridProto, cores, scale);
+    const RunResults b = runNasBenchmark(
+        NasBench::MG, SystemMode::HybridProto, cores, scale);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.traffic.totalPackets(), b.traffic.totalPackets());
+    EXPECT_EQ(a.counters.instructions, b.counters.instructions);
+}
+
+TEST(Integration, EnergyBreakdownIsPopulated)
+{
+    const RunResults r = runNasBenchmark(
+        NasBench::FT, SystemMode::HybridProto, cores, scale);
+    EXPECT_GT(r.energy.cpus, 0.0);
+    EXPECT_GT(r.energy.caches, 0.0);
+    EXPECT_GT(r.energy.noc, 0.0);
+    EXPECT_GT(r.energy.spms, 0.0);
+    EXPECT_GT(r.energy.cohProt, 0.0);
+}
+
+} // namespace
+} // namespace spmcoh

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the NAS benchmark models: Table 2 structural fidelity
+ * (kernel counts, reference counts, data-set relations) and model
+ * well-formedness under the compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/Experiments.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+struct Expected
+{
+    NasBench b;
+    std::uint32_t kernels;
+    std::uint32_t spmRefs;
+    std::uint32_t guardedRefs;
+};
+
+class Table2 : public ::testing::TestWithParam<Expected>
+{
+};
+
+TEST_P(Table2, StructureMatchesPaper)
+{
+    const Expected e = GetParam();
+    const ProgramDecl prog = buildNasBenchmark(e.b, 64);
+    const BenchCharacterization c = characterize(prog);
+    EXPECT_EQ(c.kernels, e.kernels);
+    EXPECT_EQ(c.spmRefs, e.spmRefs);
+    EXPECT_EQ(c.guardedRefs, e.guardedRefs);
+    // Table 2 invariants: more strided refs than guarded refs, and
+    // (for benchmarks with guarded data) much bigger SPM data sets.
+    EXPECT_GE(c.spmRefs, c.guardedRefs);
+    if (c.guardedRefs > 0 && e.b != NasBench::EP) {
+        EXPECT_GT(c.spmDataBytes, c.guardedDataBytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, Table2,
+    ::testing::Values(Expected{NasBench::CG, 1, 5, 1},
+                      Expected{NasBench::EP, 2, 3, 1},
+                      Expected{NasBench::FT, 5, 32, 4},
+                      Expected{NasBench::IS, 1, 3, 2},
+                      Expected{NasBench::MG, 3, 59, 6},
+                      Expected{NasBench::SP, 54, 497, 0}),
+    [](const ::testing::TestParamInfo<Expected> &info) {
+        return nasBenchName(info.param.b);
+    });
+
+TEST(Workloads, SpmAndGuardedDataSetsAreDisjoint)
+{
+    // Sec. 5.2: "the data sets accessed by SPM and guarded accesses
+    // are disjoint, though the compiler is unable to ensure it".
+    for (NasBench b : allNasBenchmarks()) {
+        const ProgramDecl prog = buildNasBenchmark(b, 64);
+        for (const KernelDecl &k : prog.kernels) {
+            std::vector<std::uint32_t> spm_arrays;
+            for (const MemRefDecl &r : k.refs)
+                if (r.pattern == AccessPattern::Strided)
+                    spm_arrays.push_back(r.arrayId);
+            for (const MemRefDecl &r : k.refs) {
+                if (!r.pointerBased)
+                    continue;
+                for (std::uint32_t id : spm_arrays)
+                    EXPECT_NE(r.arrayId, id)
+                        << nasBenchName(b) << " kernel " << k.name;
+            }
+        }
+    }
+}
+
+TEST(Workloads, ModelsCompileCleanly)
+{
+    for (NasBench b : allNasBenchmarks()) {
+        const ProgramDecl prog = buildNasBenchmark(b, 64);
+        PreparedProgram pp = prepareProgram(prog, 64, 32 * 1024);
+        for (const KernelPlan &k : pp.plan.kernels) {
+            EXPECT_LE(k.numSpmRefs, 32u) << nasBenchName(b);
+            if (k.numSpmRefs > 0) {
+                EXPECT_GE(k.bufLog2, lineShift) << nasBenchName(b);
+                EXPECT_GT(k.chunkIters, 0u) << nasBenchName(b);
+            }
+            // Iterations divide evenly across 64 cores.
+            EXPECT_EQ(k.decl.iterations % 64, 0u) << nasBenchName(b);
+        }
+    }
+}
+
+TEST(Workloads, EPIsStackDominated)
+{
+    const ProgramDecl prog = buildNasBenchmark(NasBench::EP, 64);
+    std::uint64_t stack_accesses = 0, other_accesses = 0;
+    for (const KernelDecl &k : prog.kernels) {
+        for (const MemRefDecl &r : k.refs) {
+            if (r.pattern == AccessPattern::Stack)
+                stack_accesses += r.accessesPerIter;
+            else
+                other_accesses += r.accessesPerIter;
+        }
+    }
+    EXPECT_GT(stack_accesses, other_accesses);
+}
+
+TEST(Workloads, SPHasNoGuardedRefs)
+{
+    const ProgramDecl prog = buildNasBenchmark(NasBench::SP, 64);
+    const BenchCharacterization c = characterize(prog);
+    EXPECT_EQ(c.guardedRefs, 0u);
+    EXPECT_EQ(c.guardedDataBytes, 0u);
+}
+
+TEST(Workloads, DeterministicConstruction)
+{
+    const ProgramDecl a = buildNasBenchmark(NasBench::CG, 64);
+    const ProgramDecl b = buildNasBenchmark(NasBench::CG, 64);
+    ASSERT_EQ(a.arrays.size(), b.arrays.size());
+    for (std::size_t i = 0; i < a.arrays.size(); ++i)
+        EXPECT_EQ(a.arrays[i].bytes, b.arrays[i].bytes);
+    ASSERT_EQ(a.kernels.size(), b.kernels.size());
+}
+
+TEST(Workloads, ScaleChangesIterationsNotStructure)
+{
+    const ProgramDecl big = buildNasBenchmark(NasBench::IS, 64, 1.0);
+    const ProgramDecl small =
+        buildNasBenchmark(NasBench::IS, 64, 0.5);
+    EXPECT_EQ(characterize(big).spmRefs,
+              characterize(small).spmRefs);
+    EXPECT_GT(big.kernels[0].iterations,
+              small.kernels[0].iterations);
+}
+
+TEST(Workloads, PaperTable2Available)
+{
+    for (NasBench b : allNasBenchmarks()) {
+        const PaperCharacteristics pc = paperTable2(b);
+        EXPECT_GT(pc.kernels, 0u);
+        EXPECT_NE(pc.input, nullptr);
+    }
+}
+
+} // namespace
+} // namespace spmcoh
