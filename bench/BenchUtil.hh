@@ -1,18 +1,23 @@
 /**
  * @file
- * Shared helpers for the figure/table harnesses: run caching across
- * modes, table formatting, geometric means.
+ * Shared scaffolding for the figure/table harnesses, built on the
+ * experiment driver API. Each harness declares a SweepSpec, runs it
+ * through a SweepRunner, and either renders its figure-shaped table
+ * (default) or streams the structured results through a CSV/JSON
+ * ResultSink when invoked with --format=csv or --format=json.
  */
 
 #ifndef SPMCOH_BENCH_BENCHUTIL_HH
 #define SPMCOH_BENCH_BENCHUTIL_HH
 
-#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "workloads/Experiments.hh"
+#include "driver/Driver.hh"
 
 namespace spmcoh::benchutil
 {
@@ -21,21 +26,63 @@ namespace spmcoh::benchutil
 constexpr std::uint32_t evalCores = 64;
 constexpr double evalScale = 1.0;
 
-inline RunResults
-run(NasBench b, SystemMode m)
+/** Parsed harness invocation. */
+struct BenchMain
 {
-    return runNasBenchmark(b, m, evalCores, evalScale);
+    ResultFormat format = ResultFormat::Table;
+    SweepRunner runner;
+
+    /** Figure-shaped printf output is wanted (default format). */
+    bool table() const { return format == ResultFormat::Table; }
+
+    /** Sink for csv/json; null in table mode. */
+    std::unique_ptr<ResultSink>
+    sink() const
+    {
+        if (table())
+            return nullptr;
+        return makeResultSink(format, std::cout);
+    }
+};
+
+/** Parse --format=table|csv|json (and --help). Exits on bad args. */
+inline BenchMain
+parseArgs(int argc, char **argv)
+{
+    BenchMain bm;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--format=", 9) == 0) {
+            const auto f = resultFormatFromName(arg + 9);
+            if (!f) {
+                std::fprintf(stderr,
+                             "unknown format '%s' (expected "
+                             "table, csv or json)\n", arg + 9);
+                std::exit(2);
+            }
+            bm.format = *f;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf("usage: %s [--format=table|csv|json]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg);
+            std::exit(2);
+        }
+    }
+    return bm;
 }
 
-inline double
-geomean(const std::vector<double> &v)
+/** The standard evaluation sweep: all NAS benchmarks x @p modes. */
+inline SweepSpec
+evalSweep(std::vector<SystemMode> modes)
 {
-    if (v.empty())
-        return 0.0;
-    double log_sum = 0.0;
-    for (double x : v)
-        log_sum += std::log(x);
-    return std::exp(log_sum / static_cast<double>(v.size()));
+    SweepSpec sweep;
+    sweep.workloads = WorkloadRegistry::global().names();
+    sweep.modes = std::move(modes);
+    sweep.coreCounts = {evalCores};
+    sweep.scales = {evalScale};
+    return sweep;
 }
 
 inline void

@@ -15,21 +15,38 @@ using namespace spmcoh;
 using namespace spmcoh::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
-    header("Ablation: filter size sweep (hybrid-proto)");
+    BenchMain bm = parseArgs(argc, argv);
+
+    SweepSpec sweep;
+    sweep.workloads = {"CG", "IS"};
+    sweep.modes = {SystemMode::HybridProto};
+    sweep.coreCounts = {evalCores};
+    sweep.scales = {evalScale};
     const std::uint32_t sizes[] = {4, 16, 48, 128};
-    for (NasBench b : {NasBench::CG, NasBench::IS}) {
-        std::printf("%s:\n", nasBenchName(b));
+    for (std::uint32_t n : sizes) {
+        sweep.variants.push_back(SweepVariant{
+            "filter" + std::to_string(n),
+            [n](SystemParams &p) { p.coh.filterEntries = n; }});
+    }
+
+    const auto sink = bm.sink();
+    const auto results = bm.runner.run(
+        sweep, sink.get(),
+        "Ablation: filter size sweep (hybrid-proto)");
+    if (!bm.table())
+        return 0;
+
+    header("Ablation: filter size sweep (hybrid-proto)");
+    for (const std::string &w : sweep.workloads) {
+        std::printf("%s:\n", w.c_str());
         std::printf("  %8s %10s %12s %14s\n", "entries", "hit%",
                     "cycles", "CohProt pkts");
         for (std::uint32_t n : sizes) {
-            SystemParams p =
-                SystemParams::forMode(SystemMode::HybridProto,
-                                      evalCores);
-            p.coh.filterEntries = n;
-            const RunResults r = runNasBenchmark(
-                b, SystemMode::HybridProto, evalCores, evalScale, p);
+            const RunResults &r =
+                findResult(results, w, SystemMode::HybridProto,
+                           "filter" + std::to_string(n)).results;
             std::printf("  %8u %9.1f%% %12llu %14llu\n", n,
                         100.0 * r.filterHitRatio,
                         static_cast<unsigned long long>(r.cycles),

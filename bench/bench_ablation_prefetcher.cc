@@ -17,19 +17,40 @@ using namespace spmcoh;
 using namespace spmcoh::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchMain bm = parseArgs(argc, argv);
+
+    SweepSpec sweep;
+    sweep.workloads = {"FT", "MG", "SP"};
+    sweep.modes = {SystemMode::CacheOnly};
+    sweep.coreCounts = {evalCores};
+    sweep.scales = {evalScale};
+    sweep.variants = {
+        SweepVariant{"pf-on", nullptr},
+        SweepVariant{"pf-off", [](SystemParams &p) {
+                         p.l1d.prefetcher.enabled = false;
+                     }},
+    };
+
+    const auto sink = bm.sink();
+    const auto results = bm.runner.run(
+        sweep, sink.get(),
+        "Ablation: cache-based baseline prefetcher on/off");
+    if (!bm.table())
+        return 0;
+
     header("Ablation: cache-based baseline prefetcher on/off");
     std::printf("%-5s %14s %14s %10s\n", "Bench", "cycles(pf on)",
                 "cycles(pf off)", "pf gain");
-    for (NasBench b : {NasBench::FT, NasBench::MG, NasBench::SP}) {
-        const RunResults on = run(b, SystemMode::CacheOnly);
-        SystemParams p =
-            SystemParams::forMode(SystemMode::CacheOnly, evalCores);
-        p.l1d.prefetcher.enabled = false;
-        const RunResults off = runNasBenchmark(
-            b, SystemMode::CacheOnly, evalCores, evalScale, p);
-        std::printf("%-5s %14llu %14llu %9.3fx\n", nasBenchName(b),
+    for (const std::string &w : sweep.workloads) {
+        const RunResults &on =
+            findResult(results, w, SystemMode::CacheOnly, "pf-on")
+                .results;
+        const RunResults &off =
+            findResult(results, w, SystemMode::CacheOnly, "pf-off")
+                .results;
+        std::printf("%-5s %14llu %14llu %9.3fx\n", w.c_str(),
                     static_cast<unsigned long long>(on.cycles),
                     static_cast<unsigned long long>(off.cycles),
                     double(off.cycles) / double(on.cycles));

@@ -32,16 +32,27 @@ printBar(const char *label, const EnergyBreakdown &e, double norm)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchMain bm = parseArgs(argc, argv);
+    const auto sink = bm.sink();
+    const auto results = bm.runner.run(
+        evalSweep({SystemMode::CacheOnly, SystemMode::HybridProto}),
+        sink.get(),
+        "Figure 11: normalized energy, cache-based vs hybrid");
+    if (!bm.table())
+        return 0;
+
     header("Figure 11: normalized energy, cache-based (C) vs hybrid "
            "(H)");
     std::vector<double> ratios;
-    for (NasBench b : allNasBenchmarks()) {
-        const RunResults c = run(b, SystemMode::CacheOnly);
-        const RunResults h = run(b, SystemMode::HybridProto);
+    for (const std::string &w : bm.runner.registry().names()) {
+        const RunResults &c =
+            findResult(results, w, SystemMode::CacheOnly).results;
+        const RunResults &h =
+            findResult(results, w, SystemMode::HybridProto).results;
         const double norm = c.energy.total();
-        std::printf("%s:\n", nasBenchName(b));
+        std::printf("%s:\n", w.c_str());
         printBar("C", c.energy, norm);
         printBar("H", h.energy, norm);
         const double ratio = h.energy.total() / norm;

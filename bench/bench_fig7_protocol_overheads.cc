@@ -17,16 +17,26 @@ using namespace spmcoh;
 using namespace spmcoh::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchMain bm = parseArgs(argc, argv);
+    const auto sink = bm.sink();
+    const auto results = bm.runner.run(
+        evalSweep({SystemMode::HybridIdeal, SystemMode::HybridProto}),
+        sink.get(), "Figure 7: coherence protocol overheads");
+    if (!bm.table())
+        return 0;
+
     header("Figure 7: coherence protocol overheads vs ideal "
            "coherence (x)");
     std::printf("%-5s %12s %12s %12s\n", "Bench", "ExecTime",
                 "Energy", "NoCtraffic");
     std::vector<double> ot, oe, on;
-    for (NasBench b : allNasBenchmarks()) {
-        const RunResults ideal = run(b, SystemMode::HybridIdeal);
-        const RunResults proto = run(b, SystemMode::HybridProto);
+    for (const std::string &w : bm.runner.registry().names()) {
+        const RunResults &ideal =
+            findResult(results, w, SystemMode::HybridIdeal).results;
+        const RunResults &proto =
+            findResult(results, w, SystemMode::HybridProto).results;
         const double t = double(proto.cycles) / double(ideal.cycles);
         const double e =
             proto.energy.total() / ideal.energy.total();
@@ -35,8 +45,8 @@ main()
         ot.push_back(t);
         oe.push_back(e);
         on.push_back(n);
-        std::printf("%-5s %12.3f %12.3f %12.3f\n", nasBenchName(b),
-                    t, e, n);
+        std::printf("%-5s %12.3f %12.3f %12.3f\n", w.c_str(), t, e,
+                    n);
     }
     std::printf("%-5s %12.3f %12.3f %12.3f\n", "gmean", geomean(ot),
                 geomean(oe), geomean(on));

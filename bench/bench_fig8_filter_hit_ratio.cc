@@ -14,20 +14,29 @@ using namespace spmcoh;
 using namespace spmcoh::benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchMain bm = parseArgs(argc, argv);
+    const auto sink = bm.sink();
+    const auto results = bm.runner.run(
+        evalSweep({SystemMode::HybridProto}), sink.get(),
+        "Figure 8: filter hit ratio");
+    if (!bm.table())
+        return 0;
+
     header("Figure 8: filter hit ratio (%)");
     std::printf("%-5s %10s %14s %14s\n", "Bench", "HitRatio",
                 "filterHits", "filterMisses");
-    for (NasBench b : allNasBenchmarks()) {
-        const RunResults r = run(b, SystemMode::HybridProto);
+    for (const ExperimentResult &er : results) {
+        const RunResults &r = er.results;
         if (r.filterHits + r.filterMisses == 0) {
             std::printf("%-5s %10s %14llu %14llu  (no guarded "
                         "accesses; filters gated off)\n",
-                        nasBenchName(b), "n/a", 0ull, 0ull);
+                        er.spec.workload.c_str(), "n/a", 0ull, 0ull);
             continue;
         }
-        std::printf("%-5s %9.1f%% %14llu %14llu\n", nasBenchName(b),
+        std::printf("%-5s %9.1f%% %14llu %14llu\n",
+                    er.spec.workload.c_str(),
                     100.0 * r.filterHitRatio,
                     static_cast<unsigned long long>(r.filterHits),
                     static_cast<unsigned long long>(r.filterMisses));

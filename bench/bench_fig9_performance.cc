@@ -35,16 +35,27 @@ printBar(const char *label, const RunResults &r, double norm,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchMain bm = parseArgs(argc, argv);
+    const auto sink = bm.sink();
+    const auto results = bm.runner.run(
+        evalSweep({SystemMode::CacheOnly, SystemMode::HybridProto}),
+        sink.get(),
+        "Figure 9: normalized cycles, cache-based vs hybrid");
+    if (!bm.table())
+        return 0;
+
     header("Figure 9: normalized cycles, cache-based (C) vs hybrid "
            "(H)");
     std::vector<double> speedups;
-    for (NasBench b : allNasBenchmarks()) {
-        const RunResults c = run(b, SystemMode::CacheOnly);
-        const RunResults h = run(b, SystemMode::HybridProto);
+    for (const std::string &w : bm.runner.registry().names()) {
+        const RunResults &c =
+            findResult(results, w, SystemMode::CacheOnly).results;
+        const RunResults &h =
+            findResult(results, w, SystemMode::HybridProto).results;
         const double norm = double(c.cycles);
-        std::printf("%s:\n", nasBenchName(b));
+        std::printf("%s:\n", w.c_str());
         printBar("C", c, norm, evalCores);
         printBar("H", h, norm, evalCores);
         const double sp = double(c.cycles) / double(h.cycles);

@@ -2,13 +2,17 @@
  * @file
  * Table 2 reproduction: benchmark and memory access characterization
  * of the six workload models, next to the paper's reported values.
+ * Workload models are instantiated through the registry, like every
+ * experiment run.
  */
 
 #include <cstdio>
 
 #include "BenchUtil.hh"
+#include "workloads/NasBenchmarks.hh"
 
 using namespace spmcoh;
+using namespace spmcoh::benchutil;
 
 namespace
 {
@@ -34,8 +38,11 @@ prettyBytes(std::uint64_t b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchMain bm = parseArgs(argc, argv);
+    (void)bm;
+
     std::printf("==== Table 2: benchmarks and memory access "
                 "characterization ====\n");
     std::printf("(model = this repository's scaled synthetic inputs; "
@@ -46,9 +53,8 @@ main()
                 "Kernels", "# model", "# paper", "model data",
                 "# model", "# paper", "model data");
     for (NasBench b : allNasBenchmarks()) {
-        const ProgramDecl prog =
-            buildNasBenchmark(b, benchutil::evalCores,
-                              benchutil::evalScale);
+        const ProgramDecl prog = WorkloadRegistry::global().build(
+            nasBenchName(b), evalCores, evalScale);
         const BenchCharacterization c = characterize(prog);
         const PaperCharacteristics pc = paperTable2(b);
         std::printf("%-5s %-8u | %8u %8u %10s | %8u %8u %10s\n",

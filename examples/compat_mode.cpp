@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "driver/Driver.hh"
 #include "os/OsSpmManager.hh"
 
 using namespace spmcoh;
@@ -69,5 +70,25 @@ main()
                     os.statGroup().value("lazySaves")),
                 static_cast<unsigned long long>(
                     os.statGroup().value("lazyRestores")));
+
+    // 5. Whole-system view of backwards compatibility: the same
+    //    workload runs unmodified on the cache-based configuration
+    //    (what a legacy process sees) and on the hybrid system,
+    //    through the experiment builder.
+    ExperimentBuilder builder;
+    builder.workload("CG").cores(cores).scale(0.25);
+    const ExperimentResult legacy_run =
+        builder.mode(SystemMode::CacheOnly).run();
+    const ExperimentResult hybrid_run =
+        builder.mode(SystemMode::HybridProto).run();
+    std::printf("CG on %u cores: legacy (cache-only) %llu cycles, "
+                "SPM-enabled %llu cycles (%.2fx)\n",
+                cores,
+                static_cast<unsigned long long>(
+                    legacy_run.results.cycles),
+                static_cast<unsigned long long>(
+                    hybrid_run.results.cycles),
+                double(legacy_run.results.cycles) /
+                    double(hybrid_run.results.cycles));
     return 0;
 }

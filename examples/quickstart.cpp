@@ -1,27 +1,28 @@
 /**
  * @file
- * Quickstart: build a small hybrid-memory manycore, declare a
- * parallel loop, let the compiler pass classify its references, run
- * it on the hybrid system with the SPM coherence protocol, and print
- * the headline statistics.
+ * Quickstart: declare a parallel loop, register it as a named
+ * workload, run it on the hybrid system with the SPM coherence
+ * protocol through the experiment builder, and print the headline
+ * statistics.
  *
  * Run: ./quickstart
  */
 
 #include <cstdio>
 
-#include "workloads/Experiments.hh"
+#include "driver/Driver.hh"
 
 using namespace spmcoh;
 
-int
-main()
+namespace
 {
-    constexpr std::uint32_t cores = 16;
 
-    // 1. Declare a parallel loop: two streamed vectors (SPM
-    //    candidates) and one pointer-based gather the compiler
-    //    cannot disambiguate (guarded).
+ProgramDecl
+quickstartProgram(std::uint32_t cores)
+{
+    // A parallel loop: two streamed vectors (SPM candidates) and one
+    // pointer-based gather the compiler cannot disambiguate
+    // (guarded).
     ProgramDecl prog;
     prog.name = "quickstart";
     prog.seed = 42;
@@ -69,12 +70,32 @@ main()
     gp.hotBytes = 8 * 1024;
     k.refs.push_back(gp);
     prog.kernels.push_back(k);
+    return prog;
+}
 
-    // 2. Compile: Sec. 2.4 classification + Fig. 3 tiling.
-    SystemParams params =
-        SystemParams::forMode(SystemMode::HybridProto, cores);
-    PreparedProgram pp = prepareProgram(prog, cores,
-                                        params.spmBytes);
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint32_t cores = 16;
+
+    // 1. Register the loop as a named workload.
+    WorkloadRegistry reg;
+    reg.add("quickstart", [](std::uint32_t n, double) {
+        return quickstartProgram(n);
+    });
+
+    // 2. Peek at the compiler's Sec. 2.4 classification + Fig. 3
+    //    tiling of the program.
+    const ExperimentSpec spec = ExperimentBuilder(reg)
+                                    .workload("quickstart")
+                                    .mode(SystemMode::HybridProto)
+                                    .cores(cores)
+                                    .spec();
+    const SystemParams params = spec.resolvedParams();
+    const PreparedProgram pp = prepareProgram(
+        reg.build("quickstart", cores), cores, params.spmBytes);
     const KernelPlan &plan = pp.plan.kernels[0];
     std::printf("compiler: %u SPM refs, %u guarded refs, "
                 "buffer size %llu B, %llu iters/chunk\n",
@@ -83,13 +104,8 @@ main()
                 static_cast<unsigned long long>(plan.chunkIters));
 
     // 3. Run on the hybrid system with the coherence protocol.
-    System sys(params);
-    if (!sys.run(makeSources(pp, cores, SystemMode::HybridProto,
-                             params.spmBytes))) {
-        std::printf("simulation did not complete\n");
-        return 1;
-    }
-    const RunResults r = sys.results();
+    const ExperimentResult res = runExperiment(spec, reg, &pp);
+    const RunResults &r = res.results;
 
     std::printf("cycles: %llu\n",
                 static_cast<unsigned long long>(r.cycles));
@@ -118,5 +134,20 @@ main()
                 r.energy.total() / 1000.0,
                 100.0 * r.energy.spms / r.energy.total(),
                 100.0 * r.energy.cohProt / r.energy.total());
+
+    // 4. Per-component statistics come back as a snapshot too.
+    const auto dma = res.stats.find("dmac");
+    if (dma != res.stats.end()) {
+        const auto lat = dma->second.histograms.find("lineLatency");
+        if (lat != dma->second.histograms.end())
+            std::printf("DMA line latency: %llu samples, mean "
+                        "%.1f cycles\n",
+                        static_cast<unsigned long long>(
+                            lat->second.samples),
+                        lat->second.samples
+                            ? double(lat->second.sum) /
+                                  double(lat->second.samples)
+                            : 0.0);
+    }
     return 0;
 }

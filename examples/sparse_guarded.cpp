@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "workloads/Experiments.hh"
+#include "driver/Driver.hh"
 
 using namespace spmcoh;
 
@@ -21,9 +21,8 @@ namespace
 constexpr std::uint32_t cores = 8;
 
 void
-report(const char *label, const System &sys, const RunResults &r)
+report(const char *label, const RunResults &r)
 {
-    (void)sys;
     std::printf("%s:\n", label);
     std::printf("  guarded accesses %llu: local-SPM %llu, "
                 "remote-SPM %llu, filter hits %llu (%.1f%%)\n",
@@ -93,37 +92,38 @@ gatherProgram(bool aliased)
     return prog;
 }
 
-RunResults
-runIt(const ProgramDecl &prog)
-{
-    SystemParams p =
-        SystemParams::forMode(SystemMode::HybridProto, cores);
-    System sys(p);
-    PreparedProgram pp = prepareProgram(prog, cores, p.spmBytes);
-    if (!sys.run(makeSources(pp, cores, SystemMode::HybridProto,
-                             p.spmBytes)))
-        fatal("simulation did not complete");
-    return sys.results();
-}
-
 } // namespace
 
 int
 main()
 {
+    // Both regimes of the same loop, as named workloads.
+    WorkloadRegistry reg;
+    reg.add("gather-disjoint", [](std::uint32_t, double) {
+        return gatherProgram(false);
+    });
+    reg.add("gather-aliased", [](std::uint32_t, double) {
+        return gatherProgram(true);
+    });
+
+    ExperimentBuilder builder(reg);
+    builder.mode(SystemMode::HybridProto).cores(cores);
+
     // (a) Disjoint data sets: the common case the filter optimizes.
-    const RunResults disjoint = runIt(gatherProgram(false));
+    const ExperimentResult disjoint =
+        builder.workload("gather-disjoint").run();
     // (b) The gather target IS the SPM-mapped array: every guarded
     // access may hit a mapping; the compiler (MustAlias) still emits
     // guards and the hardware diverts them.
-    const RunResults aliased = runIt(gatherProgram(true));
+    const ExperimentResult aliased =
+        builder.workload("gather-aliased").run();
 
-    System dummy(SystemParams::forMode(SystemMode::HybridProto, 1));
-    report("disjoint gather (filters absorb checks)", dummy,
-           disjoint);
-    report("aliased gather (diverted to SPMs)", dummy, aliased);
+    report("disjoint gather (filters absorb checks)",
+           disjoint.results);
+    report("aliased gather (diverted to SPMs)", aliased.results);
 
-    if (aliased.localSpmServed + aliased.remoteSpmServed == 0) {
+    if (aliased.results.localSpmServed +
+            aliased.results.remoteSpmServed == 0) {
         std::printf("expected SPM-diverted guarded accesses!\n");
         return 1;
     }

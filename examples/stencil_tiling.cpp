@@ -1,17 +1,19 @@
 /**
  * @file
  * Stencil workload (the kind MG's intro motivates): many streamed
- * grids tiled through the SPMs. Compares the cache-based and hybrid
- * executions and prints the speedup plus traffic/energy effects --
- * a one-benchmark miniature of Figs. 9-11.
+ * grids tiled through the SPMs. Sweeps the cache-based and hybrid
+ * executions through the SweepRunner and prints the speedup plus
+ * traffic/energy effects -- a one-benchmark miniature of Figs. 9-11.
  *
- * Run: ./stencil_tiling [cores]
+ * Run: ./stencil_tiling [cores] [--format=table|csv|json]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 
-#include "workloads/Experiments.hh"
+#include "driver/Driver.hh"
 
 using namespace spmcoh;
 
@@ -58,27 +60,47 @@ stencilProgram(std::uint32_t cores)
 int
 main(int argc, char **argv)
 {
-    const std::uint32_t cores =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16;
-    const ProgramDecl prog = stencilProgram(cores);
-
-    RunResults res[2];
-    const SystemMode modes[2] = {SystemMode::CacheOnly,
-                                 SystemMode::HybridProto};
-    for (int i = 0; i < 2; ++i) {
-        SystemParams p = SystemParams::forMode(modes[i], cores);
-        System sys(p);
-        PreparedProgram pp =
-            prepareProgram(prog, cores, p.spmBytes);
-        if (!sys.run(makeSources(pp, cores, modes[i], p.spmBytes))) {
-            std::printf("simulation did not complete\n");
-            return 1;
+    std::uint32_t cores = 16;
+    ResultFormat format = ResultFormat::Table;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--format=", 9) == 0) {
+            const auto f = resultFormatFromName(argv[i] + 9);
+            if (!f) {
+                std::fprintf(stderr, "unknown format '%s'\n",
+                             argv[i] + 9);
+                return 2;
+            }
+            format = *f;
+        } else {
+            cores = static_cast<std::uint32_t>(std::atoi(argv[i]));
         }
-        res[i] = sys.results();
     }
 
-    const RunResults &c = res[0];
-    const RunResults &h = res[1];
+    WorkloadRegistry reg;
+    reg.add("stencil", [](std::uint32_t n, double) {
+        return stencilProgram(n);
+    });
+
+    SweepSpec sweep;
+    sweep.workloads = {"stencil"};
+    sweep.modes = {SystemMode::CacheOnly, SystemMode::HybridProto};
+    sweep.coreCounts = {cores};
+
+    SweepRunner runner(reg);
+    std::unique_ptr<ResultSink> sink;
+    if (format != ResultFormat::Table)
+        sink = makeResultSink(format, std::cout);
+    const auto results =
+        runner.run(sweep, sink.get(), "stencil tiling");
+    if (sink)
+        return 0;
+
+    const RunResults &c =
+        findResult(results, "stencil", SystemMode::CacheOnly)
+            .results;
+    const RunResults &h =
+        findResult(results, "stencil", SystemMode::HybridProto)
+            .results;
     std::printf("stencil on %u cores, 7 streamed grids:\n", cores);
     std::printf("  cache-based : %10llu cycles, %8llu packets, "
                 "%.1f uJ\n",

@@ -46,6 +46,18 @@ enum class SystemMode : std::uint8_t
     HybridProto,  ///< hybrid memory, proposed coherence protocol
 };
 
+/** Stable textual name, used by experiment specs and result sinks. */
+inline const char *
+systemModeName(SystemMode m)
+{
+    switch (m) {
+      case SystemMode::CacheOnly:   return "cache";
+      case SystemMode::HybridIdeal: return "hybrid-ideal";
+      case SystemMode::HybridProto: return "hybrid-proto";
+      default:                      return "?";
+    }
+}
+
 /** Core configuration (Table 1 defaults). */
 struct CoreParams
 {

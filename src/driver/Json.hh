@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the result sinks. No external
+ * dependency; handles nesting, comma placement and string escaping.
+ */
+
+#ifndef SPMCOH_DRIVER_JSON_HH
+#define SPMCOH_DRIVER_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spmcoh
+{
+
+/** Streaming writer producing compact, valid JSON. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os_) : os(os_) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        pre();
+        os << '{';
+        stack.push_back(Frame{true, true});
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        stack.pop_back();
+        os << '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        pre();
+        os << '[';
+        stack.push_back(Frame{false, true});
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        stack.pop_back();
+        os << ']';
+        return *this;
+    }
+
+    /** Emit an object key; the next value call provides its value. */
+    JsonWriter &
+    key(const std::string &k)
+    {
+        pre();
+        writeString(k);
+        os << ':';
+        pendingKey = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        pre();
+        os << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        pre();
+        os << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint32_t v) { return value(std::uint64_t(v)); }
+
+    JsonWriter &
+    value(double v)
+    {
+        pre();
+        if (!std::isfinite(v)) {
+            os << "null";
+            return *this;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        pre();
+        os << (v ? "true" : "false");
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        pre();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v) { return value(std::string(v)); }
+
+  private:
+    struct Frame
+    {
+        bool isObject;
+        bool first;
+    };
+
+    /** Emit a separating comma where the grammar needs one. */
+    void
+    pre()
+    {
+        if (pendingKey) {
+            pendingKey = false;
+            return;
+        }
+        if (stack.empty())
+            return;
+        if (!stack.back().first)
+            os << ',';
+        stack.back().first = false;
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        os << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':  os << "\\\""; break;
+              case '\\': os << "\\\\"; break;
+              case '\n': os << "\\n"; break;
+              case '\r': os << "\\r"; break;
+              case '\t': os << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    os << buf;
+                } else {
+                    os << c;
+                }
+            }
+        }
+        os << '"';
+    }
+
+    std::ostream &os;
+    std::vector<Frame> stack;
+    bool pendingKey = false;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_DRIVER_JSON_HH

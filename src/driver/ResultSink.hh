@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Structured result export: a sink abstraction consuming
+ * ExperimentResults, with human-table, CSV and JSON backends. The
+ * JSON backend serializes the full RunResults (cycles, phase
+ * breakdown, per-class traffic, counters, energy breakdown, filter
+ * statistics) plus the per-component StatSnapshot.
+ */
+
+#ifndef SPMCOH_DRIVER_RESULTSINK_HH
+#define SPMCOH_DRIVER_RESULTSINK_HH
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/Experiment.hh"
+
+namespace spmcoh
+{
+
+/** Output format selector for makeResultSink(). */
+enum class ResultFormat : std::uint8_t { Table, Csv, Json };
+
+/** Parse "table" / "csv" / "json"; nullopt on anything else. */
+std::optional<ResultFormat>
+resultFormatFromName(const std::string &name);
+
+/** Consumes experiment results; one begin..add..end cycle per report. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    virtual void begin(const std::string &title) = 0;
+    virtual void add(const ExperimentResult &r) = 0;
+    /** Free-form annotation (e.g. the paper's expected shape). */
+    virtual void note(const std::string &text) = 0;
+    virtual void end() = 0;
+};
+
+/**
+ * Build a sink writing to @p os.
+ * @param with_stats include the per-component StatSnapshot (CSV
+ *                   ignores it; JSON nests it under "stats")
+ */
+std::unique_ptr<ResultSink>
+makeResultSink(ResultFormat f, std::ostream &os,
+               bool with_stats = true);
+
+} // namespace spmcoh
+
+#endif // SPMCOH_DRIVER_RESULTSINK_HH

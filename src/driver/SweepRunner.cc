@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Sweep expansion and execution.
+ */
+
+#include "driver/SweepRunner.hh"
+
+#include <cmath>
+
+#include "sim/Logging.hh"
+
+namespace spmcoh
+{
+
+std::vector<ExperimentSpec>
+SweepRunner::expand(const SweepSpec &sweep) const
+{
+    if (sweep.workloads.empty())
+        fatal("SweepRunner: sweep needs at least one workload");
+    if (sweep.modes.empty() || sweep.coreCounts.empty() ||
+        sweep.scales.empty())
+        fatal("SweepRunner: sweep axes must not be empty");
+
+    std::vector<SweepVariant> variants = sweep.variants;
+    if (variants.empty())
+        variants.push_back(SweepVariant{"", nullptr});
+
+    std::vector<ExperimentSpec> specs;
+    std::vector<std::string> errs;
+    for (const std::string &w : sweep.workloads) {
+        for (SystemMode m : sweep.modes) {
+            for (std::uint32_t c : sweep.coreCounts) {
+                for (double s : sweep.scales) {
+                    for (const SweepVariant &v : variants) {
+                        ExperimentSpec e;
+                        e.workload = w;
+                        e.mode = m;
+                        e.cores = c;
+                        e.scale = s;
+                        e.variant = v.name;
+                        if (v.tweak) {
+                            SystemParams p = e.resolvedParams();
+                            v.tweak(p);
+                            e.paramsOverride = p;
+                        }
+                        for (const std::string &err :
+                             validateExperiment(e, *reg))
+                            errs.push_back(e.label() + ": " + err);
+                        specs.push_back(std::move(e));
+                    }
+                }
+            }
+        }
+    }
+    if (!errs.empty()) {
+        std::string msg = "invalid sweep:";
+        for (const std::string &e : errs)
+            msg += "\n  - " + e;
+        fatal(msg);
+    }
+    return specs;
+}
+
+const PreparedProgram &
+SweepRunner::prepared(const ExperimentSpec &spec)
+{
+    const SystemParams p = spec.resolvedParams();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "|%u|%.17g|%u", spec.cores,
+                  spec.scale, p.spmBytes);
+    const std::string key = spec.workload + buf;
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        ++cstats.hits;
+        return *it->second;
+    }
+    ++cstats.compiles;
+    const ProgramDecl prog =
+        reg->build(spec.workload, spec.cores, spec.scale);
+    auto pp = std::make_unique<PreparedProgram>(
+        prepareProgram(prog, spec.cores, p.spmBytes));
+    return *cache.emplace(key, std::move(pp)).first->second;
+}
+
+std::vector<ExperimentResult>
+SweepRunner::runSpecs(const std::vector<ExperimentSpec> &specs,
+                      ResultSink *sink, const std::string &title)
+{
+    // Compile phase: serial, so executor jobs share read-only
+    // PreparedPrograms and stay independent of each other.
+    std::vector<const PreparedProgram *> programs;
+    programs.reserve(specs.size());
+    for (const ExperimentSpec &s : specs)
+        programs.push_back(&prepared(s));
+
+    std::vector<ExperimentResult> results(specs.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        jobs.push_back([this, &specs, &programs, &results, i] {
+            results[i] =
+                runExperiment(specs[i], *reg, programs[i]);
+        });
+    }
+    (ex ? *ex : serial).run(std::move(jobs));
+
+    if (sink) {
+        sink->begin(title);
+        for (const ExperimentResult &r : results)
+            sink->add(r);
+        sink->end();
+    }
+    return results;
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const SweepSpec &sweep, ResultSink *sink,
+                 const std::string &title)
+{
+    return runSpecs(expand(sweep), sink, title);
+}
+
+const ExperimentResult &
+findResult(const std::vector<ExperimentResult> &results,
+           const std::string &workload, SystemMode mode,
+           const std::string &variant)
+{
+    for (const ExperimentResult &r : results)
+        if (r.spec.workload == workload && r.spec.mode == mode &&
+            r.spec.variant == variant)
+            return r;
+    fatal("findResult: no result for " + workload + "/" +
+          systemModeName(mode) +
+          (variant.empty() ? "" : "+" + variant));
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+} // namespace spmcoh

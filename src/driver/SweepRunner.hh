@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cartesian parameter sweeps over the experiment API: workloads x
+ * modes x core counts x workload scales x named parameter variants.
+ * PreparedPrograms are compiled once and shared across every sweep
+ * point with the same (workload, cores, scale, spmBytes); points run
+ * through a pluggable executor so a thread-pool backend can slot in
+ * without touching the sweep logic.
+ */
+
+#ifndef SPMCOH_DRIVER_SWEEPRUNNER_HH
+#define SPMCOH_DRIVER_SWEEPRUNNER_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/Experiment.hh"
+#include "driver/ResultSink.hh"
+
+namespace spmcoh
+{
+
+/** One named point on the parameter-variant axis. */
+struct SweepVariant
+{
+    std::string name;
+    /** Applied to the resolved SystemParams of each point. */
+    std::function<void(SystemParams &)> tweak;
+};
+
+/** Axes of a cartesian sweep. Empty axes default to one point. */
+struct SweepSpec
+{
+    std::vector<std::string> workloads;
+    std::vector<SystemMode> modes{SystemMode::HybridProto};
+    std::vector<std::uint32_t> coreCounts{64};
+    std::vector<double> scales{1.0};
+    /** Empty = single un-tweaked baseline point. */
+    std::vector<SweepVariant> variants;
+};
+
+/**
+ * Runs batches of independent jobs. The serial executor runs them
+ * in order; a thread-pool implementation may run them in any order
+ * and on any thread, as jobs only write their own result slot.
+ */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+    /** Run every job; must not return before all complete. */
+    virtual void run(std::vector<std::function<void()>> jobs) = 0;
+};
+
+/** In-order, same-thread executor. */
+class SerialExecutor final : public Executor
+{
+  public:
+    void
+    run(std::vector<std::function<void()>> jobs) override
+    {
+        for (auto &j : jobs)
+            j();
+    }
+};
+
+/** Expands and executes sweeps, caching compiled programs. */
+class SweepRunner
+{
+  public:
+    struct CacheStats
+    {
+        std::size_t compiles = 0;  ///< distinct programs compiled
+        std::size_t hits = 0;      ///< points served from the cache
+    };
+
+    explicit SweepRunner(
+        const WorkloadRegistry &reg_ = WorkloadRegistry::global(),
+        Executor *ex_ = nullptr)
+        : reg(&reg_), ex(ex_)
+    {}
+
+    /**
+     * Expand the cartesian product of @p sweep into validated
+     * specs, ordered workload-major (modes, cores, scales, variants
+     * vary fastest, in that nesting order). Fatal listing every
+     * validation problem when any point is invalid.
+     */
+    std::vector<ExperimentSpec> expand(const SweepSpec &sweep) const;
+
+    /**
+     * Expand and run the sweep. Results are in expand() order.
+     * When @p sink is non-null every result is streamed into it
+     * between begin(@p title) and end().
+     */
+    std::vector<ExperimentResult>
+    run(const SweepSpec &sweep, ResultSink *sink = nullptr,
+        const std::string &title = "");
+
+    /** Run pre-expanded specs (cache + executor still apply). */
+    std::vector<ExperimentResult>
+    runSpecs(const std::vector<ExperimentSpec> &specs,
+             ResultSink *sink = nullptr,
+             const std::string &title = "");
+
+    const CacheStats &cacheStats() const { return cstats; }
+    const WorkloadRegistry &registry() const { return *reg; }
+
+  private:
+    const PreparedProgram &prepared(const ExperimentSpec &spec);
+
+    const WorkloadRegistry *reg;
+    SerialExecutor serial;
+    /** Null = use the built-in serial executor. Kept as a pointer
+     *  resolved at run time so implicit copies/moves stay safe. */
+    Executor *ex;
+    std::map<std::string, std::unique_ptr<PreparedProgram>> cache;
+    CacheStats cstats;
+};
+
+/** Find the first result matching workload and mode; fatal if none. */
+const ExperimentResult &
+findResult(const std::vector<ExperimentResult> &results,
+           const std::string &workload, SystemMode mode,
+           const std::string &variant = "");
+
+/** Geometric mean (0 for an empty set). */
+double geomean(const std::vector<double> &v);
+
+} // namespace spmcoh
+
+#endif // SPMCOH_DRIVER_SWEEPRUNNER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Workload registry implementation and NAS pre-registration.
+ */
+
+#include "driver/WorkloadRegistry.hh"
+
+#include "sim/Logging.hh"
+#include "workloads/NasBenchmarks.hh"
+
+namespace spmcoh
+{
+
+WorkloadRegistry &
+WorkloadRegistry::global()
+{
+    static WorkloadRegistry reg = [] {
+        WorkloadRegistry r;
+        for (NasBench b : allNasBenchmarks()) {
+            r.add(nasBenchName(b),
+                  [b](std::uint32_t cores, double scale) {
+                      return buildNasBenchmark(b, cores, scale);
+                  });
+        }
+        return r;
+    }();
+    return reg;
+}
+
+void
+WorkloadRegistry::add(const std::string &name, WorkloadFactory factory)
+{
+    if (name.empty())
+        fatal("WorkloadRegistry: workload name must not be empty");
+    if (!factory)
+        fatal("WorkloadRegistry: null factory for '" + name + "'");
+    if (factories.count(name))
+        fatal("WorkloadRegistry: '" + name + "' already registered");
+    factories.emplace(name, std::move(factory));
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return factories.count(name) != 0;
+}
+
+ProgramDecl
+WorkloadRegistry::build(const std::string &name, std::uint32_t cores,
+                        double scale) const
+{
+    auto it = factories.find(name);
+    if (it == factories.end())
+        fatal("WorkloadRegistry: unknown workload '" + name +
+              "'; known workloads: " + namesJoined());
+    return it->second(cores, scale);
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories.size());
+    for (const auto &kv : factories)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+WorkloadRegistry::namesJoined() const
+{
+    std::string out;
+    for (const auto &kv : factories) {
+        if (!out.empty())
+            out += ", ";
+        out += kv.first;
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+} // namespace spmcoh

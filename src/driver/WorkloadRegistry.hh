@@ -1,0 +1,60 @@
+/**
+ * @file
+ * String-keyed workload registry: experiments name their workload
+ * ("CG", "stencil", ...) instead of hard-coding enums at every call
+ * site. The six NAS models of Table 2 come pre-registered in the
+ * global registry; examples and tests register their own programs.
+ */
+
+#ifndef SPMCOH_DRIVER_WORKLOADREGISTRY_HH
+#define SPMCOH_DRIVER_WORKLOADREGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/LoopIr.hh"
+
+namespace spmcoh
+{
+
+/** Builds the program model for a core count and workload scale. */
+using WorkloadFactory =
+    std::function<ProgramDecl(std::uint32_t cores, double scale)>;
+
+class WorkloadRegistry
+{
+  public:
+    /** An empty registry (for custom workload sets). */
+    WorkloadRegistry() = default;
+
+    /** The process-wide registry, NAS benchmarks pre-registered. */
+    static WorkloadRegistry &global();
+
+    /** Register @p factory under @p name; fatal on duplicates. */
+    void add(const std::string &name, WorkloadFactory factory);
+
+    bool contains(const std::string &name) const;
+
+    /**
+     * Build the named workload. Fatal with the list of known names
+     * when @p name is not registered.
+     */
+    ProgramDecl build(const std::string &name, std::uint32_t cores,
+                      double scale = 1.0) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** "a, b, c" rendering of names() for error messages. */
+    std::string namesJoined() const;
+
+  private:
+    std::map<std::string, WorkloadFactory> factories;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_DRIVER_WORKLOADREGISTRY_HH

@@ -11,7 +11,9 @@ namespace spmcoh
 Dmac::Dmac(MemNet &net_, Spm &spm_, const AddressMap &amap_,
            CoreId core_, const DmacParams &p_, const std::string &name)
     : net(net_), spm(spm_), amap(amap_), core(core_), p(p_),
-      tagPending(numTags, 0), stats(name)
+      tagPending(numTags, 0), stats(name),
+      lineLatency(stats.histogram("lineLatency",
+                                  {16, 32, 64, 128, 256, 512, 1024}))
 {
 }
 
@@ -101,7 +103,7 @@ Dmac::issueOne()
         amap.spmOffset(cmd.spmAddr) + line_idx * lineBytes;
 
     const std::uint64_t id = nextReqId++;
-    reqs.emplace(id, std::make_pair(spm_off, cmd.tag));
+    reqs.emplace(id, Req{spm_off, cmd.tag, net.events().now()});
 
     Message m;
     m.addr = gm_line;
@@ -137,9 +139,10 @@ Dmac::handle(const Message &msg)
     auto it = reqs.find(msg.aux);
     if (it == reqs.end())
         panic("Dmac: response for unknown request");
-    const auto [spm_off, tag] = it->second;
+    const auto [spm_off, tag, issued] = it->second;
     reqs.erase(it);
     --inflight;
+    lineLatency.sample(net.events().now() - issued);
 
     switch (msg.type) {
       case MsgType::DmaReadResp:

@@ -119,12 +119,18 @@ class Dmac
 
     std::vector<std::uint64_t> tagPending;
     std::vector<Waiter> waiters;
-    /** request id -> (spm offset, tag) for in-flight gets/puts. */
-    std::unordered_map<std::uint64_t, std::pair<std::uint32_t,
-                                                std::uint32_t>> reqs;
+    /** In-flight line request bookkeeping. */
+    struct Req
+    {
+        std::uint32_t spmOff;
+        std::uint32_t tag;
+        Tick issued;
+    };
+    std::unordered_map<std::uint64_t, Req> reqs;
     std::uint64_t nextReqId = 1;
     std::function<void()> cmdSlotCb;
     StatGroup stats;
+    Histogram &lineLatency;  ///< response-time histogram in stats
 };
 
 } // namespace spmcoh

@@ -120,6 +120,24 @@ System::run(std::vector<std::unique_ptr<OpSource>> sources)
     return true;
 }
 
+void
+System::visitStats(StatVisitor &v) const
+{
+    for (CoreId i = 0; i < p.numCores; ++i) {
+        cores[i]->statGroup().accept(v);
+        l1ds[i]->statGroup().accept(v);
+        l1is[i]->statGroup().accept(v);
+        tlbs[i]->statGroup().accept(v);
+        dirs[i]->statGroup().accept(v);
+        spms[i]->statGroup().accept(v);
+        dmacs[i]->statGroup().accept(v);
+        cohs[i]->statGroup().accept(v);
+        fslices[i]->statGroup().accept(v);
+    }
+    for (const auto &mc : mcs)
+        mc->statGroup().accept(v);
+}
+
 RunResults
 System::results() const
 {

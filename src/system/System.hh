@@ -141,6 +141,14 @@ class System
     /** Collect counters/energy/traffic after a run. */
     RunResults results() const;
 
+    /**
+     * Walk every component's StatGroup (cores, caches, TLBs,
+     * directories, SPMs, DMACs, coherence controllers, filter
+     * directory slices, memory controllers). Result sinks use this
+     * to export per-component statistics.
+     */
+    void visitStats(StatVisitor &v) const;
+
   private:
     SystemParams p;
     EventQueue eq;

@@ -18,7 +18,8 @@
 
 #include <gtest/gtest.h>
 
-#include "workloads/Experiments.hh"
+#include "driver/Experiment.hh"
+#include "workloads/NasBenchmarks.hh"
 
 namespace spmcoh
 {

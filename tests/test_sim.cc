@@ -190,6 +190,67 @@ TEST(Stats, HistogramBucketsAndMean)
     EXPECT_EQ(h.maxValue(), 500u);
 }
 
+TEST(Stats, HistogramEdgeAndOverflowBucketing)
+{
+    // Values exactly on an edge stay in that edge's bucket; values
+    // past the last edge go to the overflow bucket (the convention
+    // the former linear scan implemented, now a binary search).
+    Histogram h({10, 100, 1000});
+    h.sample(0);
+    h.sample(10);     // on the first edge -> bucket 0
+    h.sample(11);     // just past it      -> bucket 1
+    h.sample(100);    // on the second edge -> bucket 1
+    h.sample(101);    // -> bucket 2
+    h.sample(1000);   // on the last edge  -> bucket 2
+    h.sample(1001);   // -> overflow
+    h.sample(~0ull);  // max value         -> overflow
+    EXPECT_EQ(h.bucketCounts()[0], 2u);
+    EXPECT_EQ(h.bucketCounts()[1], 2u);
+    EXPECT_EQ(h.bucketCounts()[2], 2u);
+    EXPECT_EQ(h.bucketCounts()[3], 2u);
+    EXPECT_EQ(h.samples(), 8u);
+    EXPECT_EQ(h.maxValue(), ~0ull);
+}
+
+TEST(Stats, HistogramWithoutEdgesHasOnlyOverflow)
+{
+    Histogram h;
+    h.sample(0);
+    h.sample(123456);
+    ASSERT_EQ(h.bucketCounts().size(), 1u);
+    EXPECT_EQ(h.bucketCounts()[0], 2u);
+}
+
+TEST(Stats, VisitorWalksCountersAndHistograms)
+{
+    StatGroup g("grp");
+    g.counter("a") += 7;
+    g.histogram("lat", {10}).sample(3);
+    g.histogram("lat").sample(30);  // existing: edges arg ignored
+
+    struct Collector final : StatVisitor
+    {
+        std::string group;
+        std::map<std::string, std::uint64_t> scalars;
+        std::map<std::string, std::uint64_t> histSamples;
+        void beginGroup(const std::string &n) override { group = n; }
+        void
+        scalar(const std::string &k, std::uint64_t v) override
+        {
+            scalars[k] = v;
+        }
+        void
+        histogram(const std::string &k, const Histogram &h) override
+        {
+            histSamples[k] = h.samples();
+        }
+    } c;
+    g.accept(c);
+    EXPECT_EQ(c.group, "grp");
+    EXPECT_EQ(c.scalars.at("a"), 7u);
+    EXPECT_EQ(c.histSamples.at("lat"), 2u);
+}
+
 TEST(Types, LineHelpers)
 {
     EXPECT_EQ(lineAlign(0x12345), 0x12340u);

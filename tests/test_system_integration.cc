@@ -8,7 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include "workloads/Experiments.hh"
+#include "driver/Driver.hh"
+#include "workloads/NasBenchmarks.hh"
 
 namespace spmcoh
 {
@@ -17,6 +18,19 @@ namespace
 
 constexpr std::uint32_t cores = 4;
 constexpr double scale = 0.25;
+
+/** One benchmark run through the experiment API. */
+RunResults
+runBench(NasBench b, SystemMode mode)
+{
+    return ExperimentBuilder()
+        .workload(nasBenchName(b))
+        .mode(mode)
+        .cores(cores)
+        .scale(scale)
+        .run()
+        .results;
+}
 
 /** Coherent read of one word via a DMA snapshot at the directory. */
 std::uint64_t
@@ -104,8 +118,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Integration, HybridUsesSpmsAndDma)
 {
     const RunResults r =
-        runNasBenchmark(NasBench::CG, SystemMode::HybridProto, cores,
-                        scale);
+        runBench(NasBench::CG, SystemMode::HybridProto);
     EXPECT_GT(r.counters.spmAccesses, 0u);
     EXPECT_GT(r.counters.dmaLines, 0u);
     EXPECT_GT(r.traffic.classPackets(TrafficClass::Dma), 0u);
@@ -116,8 +129,7 @@ TEST(Integration, HybridUsesSpmsAndDma)
 TEST(Integration, CacheModeHasNoHybridTraffic)
 {
     const RunResults r =
-        runNasBenchmark(NasBench::CG, SystemMode::CacheOnly, cores,
-                        scale);
+        runBench(NasBench::CG, SystemMode::CacheOnly);
     EXPECT_EQ(r.counters.spmAccesses, 0u);
     EXPECT_EQ(r.traffic.classPackets(TrafficClass::Dma), 0u);
     EXPECT_EQ(r.traffic.classPackets(TrafficClass::CohProt), 0u);
@@ -126,10 +138,8 @@ TEST(Integration, CacheModeHasNoHybridTraffic)
 
 TEST(Integration, IdealProtocolAddsNoTrackingTraffic)
 {
-    const RunResults ideal = runNasBenchmark(
-        NasBench::CG, SystemMode::HybridIdeal, cores, scale);
-    const RunResults proto = runNasBenchmark(
-        NasBench::CG, SystemMode::HybridProto, cores, scale);
+    const RunResults ideal = runBench(NasBench::CG, SystemMode::HybridIdeal);
+    const RunResults proto = runBench(NasBench::CG, SystemMode::HybridProto);
     // The proposed protocol adds CohProt packets over ideal.
     EXPECT_GT(proto.traffic.classPackets(TrafficClass::CohProt),
               ideal.traffic.classPackets(TrafficClass::CohProt));
@@ -143,8 +153,7 @@ TEST(Integration, IdealProtocolAddsNoTrackingTraffic)
 
 TEST(Integration, FilterHitRatioIsHighWithoutAliasing)
 {
-    const RunResults r = runNasBenchmark(
-        NasBench::CG, SystemMode::HybridProto, cores, scale);
+    const RunResults r = runBench(NasBench::CG, SystemMode::HybridProto);
     EXPECT_GT(r.filterHits + r.filterMisses, 0u);
     EXPECT_GT(r.filterHitRatio, 0.80);
     // Sec. 5.3: no aliasing -> no ordering squashes, no filter
@@ -154,10 +163,8 @@ TEST(Integration, FilterHitRatioIsHighWithoutAliasing)
 
 TEST(Integration, PhaseBreakdownOnlyInHybrid)
 {
-    const RunResults cache = runNasBenchmark(
-        NasBench::IS, SystemMode::CacheOnly, cores, scale);
-    const RunResults hybrid = runNasBenchmark(
-        NasBench::IS, SystemMode::HybridProto, cores, scale);
+    const RunResults cache = runBench(NasBench::IS, SystemMode::CacheOnly);
+    const RunResults hybrid = runBench(NasBench::IS, SystemMode::HybridProto);
     using P = ExecPhase;
     EXPECT_EQ(cache.phaseCycles[int(P::Control)], 0u);
     EXPECT_EQ(cache.phaseCycles[int(P::Sync)], 0u);
@@ -168,10 +175,8 @@ TEST(Integration, PhaseBreakdownOnlyInHybrid)
 
 TEST(Integration, DeterministicAcrossRuns)
 {
-    const RunResults a = runNasBenchmark(
-        NasBench::MG, SystemMode::HybridProto, cores, scale);
-    const RunResults b = runNasBenchmark(
-        NasBench::MG, SystemMode::HybridProto, cores, scale);
+    const RunResults a = runBench(NasBench::MG, SystemMode::HybridProto);
+    const RunResults b = runBench(NasBench::MG, SystemMode::HybridProto);
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.traffic.totalPackets(), b.traffic.totalPackets());
     EXPECT_EQ(a.counters.instructions, b.counters.instructions);
@@ -179,8 +184,7 @@ TEST(Integration, DeterministicAcrossRuns)
 
 TEST(Integration, EnergyBreakdownIsPopulated)
 {
-    const RunResults r = runNasBenchmark(
-        NasBench::FT, SystemMode::HybridProto, cores, scale);
+    const RunResults r = runBench(NasBench::FT, SystemMode::HybridProto);
     EXPECT_GT(r.energy.cpus, 0.0);
     EXPECT_GT(r.energy.caches, 0.0);
     EXPECT_GT(r.energy.noc, 0.0);
