@@ -10,6 +10,7 @@
 #ifndef SPMCOH_BENCH_BENCHUTIL_HH
 #define SPMCOH_BENCH_BENCHUTIL_HH
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,8 @@ constexpr double evalScale = 1.0;
 struct BenchMain
 {
     ResultFormat format = ResultFormat::Table;
+    /** Owns the pool when --jobs != 1; runner borrows it. */
+    std::unique_ptr<Executor> executor;
     SweepRunner runner;
 
     /** Figure-shaped printf output is wanted (default format). */
@@ -45,9 +48,14 @@ struct BenchMain
     }
 };
 
-/** Parse --format=table|csv|json (and --help). Exits on bad args. */
+/**
+ * Parse --format=table|csv|json, --jobs=N (N worker threads for the
+ * sweep points, 'auto' = hardware threads) and --help. @p desc is
+ * the one-line harness description shown by --help. Exits on bad
+ * args.
+ */
 inline BenchMain
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, const char *desc = nullptr)
 {
     BenchMain bm;
     for (int i = 1; i < argc; ++i) {
@@ -61,9 +69,36 @@ parseArgs(int argc, char **argv)
                 std::exit(2);
             }
             bm.format = *f;
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            std::uint32_t jobs = 0;
+            if (std::strcmp(arg + 7, "auto") == 0) {
+                jobs = hardwareParallelism();
+            } else {
+                char *end = nullptr;
+                const unsigned long v =
+                    std::strtoul(arg + 7, &end, 10);
+                // strtoul accepts (and wraps) a leading '-'.
+                if (v == 0 || *end != '\0' ||
+                    !std::isdigit(
+                        static_cast<unsigned char>(arg[7]))) {
+                    std::fprintf(stderr,
+                                 "bad job count '%s' (expected a "
+                                 "positive integer or 'auto')\n",
+                                 arg + 7);
+                    std::exit(2);
+                }
+                jobs = static_cast<std::uint32_t>(v);
+            }
+            if (jobs > 1) {
+                bm.executor =
+                    std::make_unique<ThreadPoolExecutor>(jobs);
+                bm.runner.setExecutor(bm.executor.get());
+            }
         } else if (std::strcmp(arg, "--help") == 0) {
-            std::printf("usage: %s [--format=table|csv|json]\n",
-                        argv[0]);
+            if (desc)
+                std::printf("%s\n", desc);
+            std::printf("usage: %s [--format=table|csv|json] "
+                        "[--jobs=N|auto]\n", argv[0]);
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg);

@@ -17,7 +17,10 @@ using namespace spmcoh::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchMain bm = parseArgs(argc, argv);
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Ablation: filter capacity vs hit ratio and protocol "
+        "overhead (CG and IS, hybrid-proto)");
 
     SweepSpec sweep;
     sweep.workloads = {"CG", "IS"};

@@ -19,7 +19,10 @@ using namespace spmcoh::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchMain bm = parseArgs(argc, argv);
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Ablation: cache-based baseline with the L1D stride "
+        "prefetcher on vs off (FT, MG, SP)");
 
     SweepSpec sweep;
     sweep.workloads = {"FT", "MG", "SP"};

@@ -37,7 +37,10 @@ printBar(const char *label, const TrafficCounters &t, double norm)
 int
 main(int argc, char **argv)
 {
-    BenchMain bm = parseArgs(argc, argv);
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Figure 10: normalized NoC packets by class, cache-based "
+        "vs hybrid");
     const auto sink = bm.sink();
     const auto results = bm.runner.run(
         evalSweep({SystemMode::CacheOnly, SystemMode::HybridProto}),

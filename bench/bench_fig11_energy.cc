@@ -34,7 +34,10 @@ printBar(const char *label, const EnergyBreakdown &e, double norm)
 int
 main(int argc, char **argv)
 {
-    BenchMain bm = parseArgs(argc, argv);
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Figure 11: normalized energy by component, cache-based "
+        "vs hybrid");
     const auto sink = bm.sink();
     const auto results = bm.runner.run(
         evalSweep({SystemMode::CacheOnly, SystemMode::HybridProto}),

@@ -19,7 +19,10 @@ using namespace spmcoh::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchMain bm = parseArgs(argc, argv);
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Figure 7: execution time / energy / NoC traffic overheads "
+        "of the proposed protocol vs ideal coherence");
     const auto sink = bm.sink();
     const auto results = bm.runner.run(
         evalSweep({SystemMode::HybridIdeal, SystemMode::HybridProto}),

@@ -16,7 +16,9 @@ using namespace spmcoh::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchMain bm = parseArgs(argc, argv);
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Figure 8: filter hit ratio per benchmark (hybrid-proto)");
     const auto sink = bm.sink();
     const auto results = bm.runner.run(
         evalSweep({SystemMode::HybridProto}), sink.get(),

@@ -37,7 +37,10 @@ printBar(const char *label, const RunResults &r, double norm,
 int
 main(int argc, char **argv)
 {
-    BenchMain bm = parseArgs(argc, argv);
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Figure 9: normalized execution time, cache-based vs "
+        "hybrid, split into control/sync/work phases");
     const auto sink = bm.sink();
     const auto results = bm.runner.run(
         evalSweep({SystemMode::CacheOnly, SystemMode::HybridProto}),

@@ -17,7 +17,9 @@ using namespace spmcoh::benchutil;
 int
 main(int argc, char **argv)
 {
-    BenchMain bm = parseArgs(argc, argv);
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Table 1: simulated machine configuration dump (no runs)");
 
     const ExperimentSpec spec = ExperimentBuilder()
                                     .workload("CG")

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build with warnings-as-errors, run the
-# full ctest suite. Usage: scripts/ci.sh [build-dir]
+# full ctest suite, then smoke-test the spmcoh_run CLI (exercising
+# the thread-pool executor and JSON export on every push).
+# Usage: scripts/ci.sh [build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,3 +13,10 @@ cmake -B "$BUILD_DIR" -S . \
     -DSPMCOH_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== spmcoh_run smoke test =="
+"$BUILD_DIR"/spmcoh_run --workload=CG --cores=8 --jobs=2 \
+    --format=json > "$BUILD_DIR"/smoke.json
+# The run must have produced a non-empty result set.
+grep -q '"workload":"CG"' "$BUILD_DIR"/smoke.json
+echo "ok"

@@ -24,6 +24,8 @@
 
 #include <deque>
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "coherence/CohController.hh"
@@ -56,6 +58,19 @@ systemModeName(SystemMode m)
       case SystemMode::HybridProto: return "hybrid-proto";
       default:                      return "?";
     }
+}
+
+/** Inverse of systemModeName(); nullopt on anything else. */
+inline std::optional<SystemMode>
+systemModeFromName(std::string_view name)
+{
+    if (name == "cache")
+        return SystemMode::CacheOnly;
+    if (name == "hybrid-ideal")
+        return SystemMode::HybridIdeal;
+    if (name == "hybrid-proto")
+        return SystemMode::HybridProto;
+    return std::nullopt;
 }
 
 /** Core configuration (Table 1 defaults). */

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Command-line front end for the experiment driver: parses the
+ * spmcoh_run argument surface (workload/mode/cores/scale sweep
+ * axes, variant axes, output format/file, worker count) into a
+ * validated SweepSpec + options bundle. Kept independent of main()
+ * so the parser is unit-testable and reusable by other tools.
+ */
+
+#ifndef SPMCOH_DRIVER_CLI_HH
+#define SPMCOH_DRIVER_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/ResultSink.hh"
+#include "driver/SweepRunner.hh"
+
+namespace spmcoh
+{
+
+/** Parsed spmcoh_run invocation. */
+struct CliOptions
+{
+    /** Sweep axes assembled from --workload/--mode/--cores/--scale
+     *  plus the variant axes (--filter-entries, --prefetcher). */
+    SweepSpec sweep;
+    ResultFormat format = ResultFormat::Table;
+    /** Worker threads; 1 = serial, 0 = hardware parallelism. */
+    std::uint32_t jobs = 1;
+    std::string outFile;  ///< empty = stdout
+    std::string title;    ///< empty = generated from the axes
+    bool withStats = true;
+    bool help = false;
+    bool listWorkloads = false;
+
+    /** The title to report: --title, or one built from the axes. */
+    std::string effectiveTitle() const;
+};
+
+/** "a,b,c" -> {"a", "b", "c"}. Empty input gives an empty list. */
+std::vector<std::string> splitList(const std::string &s);
+
+/** Full usage text for --help and error hints. */
+std::string cliUsage(const std::string &prog);
+
+/**
+ * Parse an spmcoh_run argument vector (argv[0] excluded). Throws
+ * FatalError listing every problem found (unknown flags, bad
+ * numbers, unknown workloads/modes/formats) when the invocation is
+ * invalid. --workload is required unless --help or --list-workloads
+ * is present; "--workload=all" expands to every registered name.
+ */
+CliOptions
+parseCli(const std::vector<std::string> &args,
+         const WorkloadRegistry &reg = WorkloadRegistry::global());
+
+} // namespace spmcoh
+
+#endif // SPMCOH_DRIVER_CLI_HH

@@ -10,6 +10,7 @@
 #include "driver/Experiment.hh"
 #include "driver/ResultSink.hh"
 #include "driver/SweepRunner.hh"
+#include "driver/ThreadPool.hh"
 #include "driver/WorkloadRegistry.hh"
 
 #endif // SPMCOH_DRIVER_DRIVER_HH

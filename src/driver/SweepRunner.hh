@@ -31,7 +31,11 @@ struct SweepVariant
     std::function<void(SystemParams &)> tweak;
 };
 
-/** Axes of a cartesian sweep. Empty axes default to one point. */
+/**
+ * Axes of a cartesian sweep. workloads must be non-empty; so must
+ * modes/coreCounts/scales (they start with one default point).
+ * Only an empty variants axis defaults to a single baseline point.
+ */
 struct SweepSpec
 {
     std::vector<std::string> workloads;
@@ -43,9 +47,32 @@ struct SweepSpec
 };
 
 /**
- * Runs batches of independent jobs. The serial executor runs them
- * in order; a thread-pool implementation may run them in any order
- * and on any thread, as jobs only write their own result slot.
+ * Runs batches of independent jobs.
+ *
+ * Contract between SweepRunner and Executor implementations:
+ *
+ * - **Job independence.** Every job submitted by SweepRunner is
+ *   thread-safe against every other job in the same batch: each job
+ *   builds its own System, draws from its own deterministic Rngs,
+ *   and writes only its own pre-allocated result slot. Shared
+ *   inputs (the WorkloadRegistry and the PreparedProgram cache) are
+ *   read-only during execution — compilation is hoisted into a
+ *   serial phase before the batch is submitted. Implementations may
+ *   therefore run jobs concurrently without any locking.
+ * - **Completion.** run() must not return before every claimed job
+ *   has finished; results are read immediately after it returns.
+ * - **Ordering.** Jobs may execute in any order on any thread.
+ *   Result ordering is the caller's responsibility (per-job result
+ *   slots), so output is identical whatever the execution order.
+ * - **Exceptions.** Jobs may throw (FatalError/PanicError from a
+ *   misconfigured or deadlocked point). An implementation must stop
+ *   dispatching further jobs and propagate the failure of the
+ *   lowest-indexed failed job to the caller of run(), matching what
+ *   SerialExecutor would have thrown.
+ *
+ * SerialExecutor runs jobs in order on the calling thread;
+ * ThreadPoolExecutor (ThreadPool.hh) drains the batch with a fixed
+ * worker pool.
  */
 class Executor
 {
@@ -108,6 +135,12 @@ class SweepRunner
 
     const CacheStats &cacheStats() const { return cstats; }
     const WorkloadRegistry &registry() const { return *reg; }
+
+    /**
+     * Replace the executor (null = built-in serial). The executor
+     * must outlive the runner; the runner does not take ownership.
+     */
+    void setExecutor(Executor *ex_) { ex = ex_; }
 
   private:
     const PreparedProgram &prepared(const ExperimentSpec &spec);

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Concurrent Executor backend for SweepRunner: a fixed pool of
+ * worker threads draining one shared job queue. Sweep points are
+ * independent once the compile phase has run (see the Executor
+ * contract in SweepRunner.hh), so the pool needs no work stealing
+ * or locking beyond an atomic next-job cursor.
+ */
+
+#ifndef SPMCOH_DRIVER_THREADPOOL_HH
+#define SPMCOH_DRIVER_THREADPOOL_HH
+
+#include <cstdint>
+
+#include "driver/SweepRunner.hh"
+
+namespace spmcoh
+{
+
+/**
+ * A sensible default worker count: the hardware thread count, or 1
+ * when the platform cannot report it.
+ */
+std::uint32_t hardwareParallelism();
+
+/**
+ * Executor running jobs on a fixed pool of worker threads.
+ *
+ * Ordering: jobs are claimed in index order from an atomic cursor,
+ * but may complete in any order on any worker. Because Executor
+ * jobs write only their own pre-allocated result slot (see
+ * SweepRunner::runSpecs), results are position-stable and a sweep
+ * produces byte-identical output regardless of the worker count.
+ *
+ * Exceptions: when jobs throw, the pool stops handing out further
+ * jobs, joins every worker, and rethrows the exception of the
+ * *lowest-indexed* failed job on the calling thread — the same
+ * exception SerialExecutor would have surfaced, so error behavior
+ * is deterministic across worker counts. Jobs already running when
+ * another fails still run to completion (they cannot be cancelled).
+ *
+ * With one worker, jobs run serially on the calling thread; no
+ * threads are spawned, making --jobs=1 exactly SerialExecutor.
+ */
+class ThreadPoolExecutor final : public Executor
+{
+  public:
+    /**
+     * @param workers_ fixed worker count; 0 = hardwareParallelism()
+     */
+    explicit ThreadPoolExecutor(std::uint32_t workers_ = 0);
+
+    void run(std::vector<std::function<void()>> jobs) override;
+
+    std::uint32_t workers() const { return numWorkers; }
+
+  private:
+    std::uint32_t numWorkers;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_DRIVER_THREADPOOL_HH

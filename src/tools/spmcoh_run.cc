@@ -1,0 +1,69 @@
+/**
+ * @file
+ * spmcoh_run: the single CLI driver for ad-hoc studies. Declares a
+ * sweep from command-line axes, runs it (optionally on a worker
+ * pool), and streams the results through a table/CSV/JSON sink to
+ * stdout or a file. Subsumes the per-figure bench_* mains for
+ * anything that does not need their figure-shaped rendering:
+ *
+ *   spmcoh_run --workload=CG --cores=8 --format=json
+ *   spmcoh_run --workload=all --mode=cache,hybrid-proto --jobs=8
+ *   spmcoh_run --workload=CG,IS --filter-entries=4,16,48,128
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "driver/Cli.hh"
+#include "driver/Driver.hh"
+#include "driver/ThreadPool.hh"
+#include "sim/Logging.hh"
+
+using namespace spmcoh;
+
+int
+main(int argc, char **argv)
+{
+    const std::string prog = argc > 0 ? argv[0] : "spmcoh_run";
+    try {
+        const CliOptions opt =
+            parseCli(std::vector<std::string>(argv + 1, argv + argc));
+
+        if (opt.help) {
+            std::fputs(cliUsage(prog).c_str(), stdout);
+            return 0;
+        }
+        if (opt.listWorkloads) {
+            for (const std::string &w :
+                 WorkloadRegistry::global().names())
+                std::printf("%s\n", w.c_str());
+            return 0;
+        }
+
+        std::ofstream file;
+        if (!opt.outFile.empty()) {
+            file.open(opt.outFile);
+            if (!file)
+                fatal("cannot open output file '" + opt.outFile +
+                      "'");
+        }
+        std::ostream &os = file.is_open()
+            ? static_cast<std::ostream &>(file)
+            : std::cout;
+
+        ThreadPoolExecutor pool(opt.jobs);
+        SweepRunner runner(WorkloadRegistry::global(),
+                           opt.jobs != 1 ? &pool : nullptr);
+        const auto sink =
+            makeResultSink(opt.format, os, opt.withStats);
+        runner.run(opt.sweep, sink.get(), opt.effectiveTitle());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s: %s\n", prog.c_str(), e.what());
+        return 2;
+    } catch (const PanicError &e) {
+        std::fprintf(stderr, "%s: %s\n", prog.c_str(), e.what());
+        return 3;
+    }
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the thread-pool executor: the Executor contract
+ * (completion, per-slot writes, exception propagation) on synthetic
+ * jobs, and end-to-end determinism of concurrent sweeps — results
+ * and serialized JSON byte-identical to the serial executor across
+ * worker counts and repeated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "driver/Driver.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+// ------------------------------------------------ synthetic jobs
+
+TEST(ThreadPoolExecutor, RunsEveryJobExactlyOnce)
+{
+    for (std::uint32_t workers : {1u, 2u, 7u, 32u}) {
+        ThreadPoolExecutor ex(workers);
+        EXPECT_EQ(ex.workers(), workers);
+        constexpr std::size_t n = 64;
+        std::vector<std::atomic<int>> hits(n);
+        std::vector<std::function<void()>> jobs;
+        for (std::size_t i = 0; i < n; ++i)
+            jobs.push_back([&hits, i] { ++hits[i]; });
+        ex.run(std::move(jobs));
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+    }
+}
+
+TEST(ThreadPoolExecutor, ZeroWorkersMeansHardwareParallelism)
+{
+    ThreadPoolExecutor ex(0);
+    EXPECT_EQ(ex.workers(), hardwareParallelism());
+    EXPECT_GE(ex.workers(), 1u);
+}
+
+TEST(ThreadPoolExecutor, EmptyBatchIsANoOp)
+{
+    ThreadPoolExecutor ex(4);
+    ex.run({});
+}
+
+TEST(ThreadPoolExecutor, PropagatesLowestIndexedFailure)
+{
+    // Jobs 3 and 9 fail; the pool must surface job 3's exception,
+    // exactly as SerialExecutor would.
+    for (std::uint32_t workers : {1u, 4u}) {
+        ThreadPoolExecutor ex(workers);
+        std::vector<std::function<void()>> jobs;
+        for (std::size_t i = 0; i < 12; ++i)
+            jobs.push_back([i] {
+                if (i == 3 || i == 9)
+                    fatal("job " + std::to_string(i) + " failed");
+            });
+        try {
+            ex.run(std::move(jobs));
+            FAIL() << "expected FatalError";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("job 3 failed"),
+                      std::string::npos)
+                << "workers=" << workers << ": " << e.what();
+        }
+    }
+}
+
+TEST(ThreadPoolExecutor, PropagatesPanicToo)
+{
+    ThreadPoolExecutor ex(4);
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([] { panic("invariant broke"); });
+    EXPECT_THROW(ex.run(std::move(jobs)), PanicError);
+}
+
+TEST(ThreadPoolExecutor, StopsDispatchingAfterAFailure)
+{
+    // With one worker the queue drains in order, so nothing past
+    // the failing job may run.
+    ThreadPoolExecutor ex(1);
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([&ran] { ++ran; });
+    jobs.push_back([] { fatal("boom"); });
+    jobs.push_back([&ran] { ++ran; });
+    EXPECT_THROW(ex.run(std::move(jobs)), FatalError);
+    EXPECT_EQ(ran.load(), 1);
+}
+
+// --------------------------------------------- end-to-end sweeps
+
+SweepSpec
+smallSweep()
+{
+    SweepSpec sweep;
+    sweep.workloads = {"CG", "EP", "IS"};
+    sweep.modes = {SystemMode::CacheOnly, SystemMode::HybridProto};
+    sweep.coreCounts = {4};
+    sweep.scales = {0.25};
+    return sweep;
+}
+
+/** Fields that must match bit-for-bit across executors. */
+void
+expectSameResults(const std::vector<ExperimentResult> &a,
+                  const std::vector<ExperimentResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].spec.label(), b[i].spec.label());
+        EXPECT_EQ(a[i].results.cycles, b[i].results.cycles);
+        EXPECT_EQ(a[i].results.traffic.totalPackets(),
+                  b[i].results.traffic.totalPackets());
+        EXPECT_EQ(a[i].results.counters.instructions,
+                  b[i].results.counters.instructions);
+        EXPECT_EQ(a[i].results.filterHits, b[i].results.filterHits);
+    }
+}
+
+TEST(ThreadPoolExecutor, SweepMatchesSerialExecutor)
+{
+    SweepRunner serial;
+    const auto expect = serial.run(smallSweep());
+
+    ThreadPoolExecutor pool(4);
+    SweepRunner concurrent(WorkloadRegistry::global(), &pool);
+    const auto got = concurrent.run(smallSweep());
+    expectSameResults(expect, got);
+
+    // Repeated concurrent runs are deterministic too.
+    const auto again = concurrent.run(smallSweep());
+    expectSameResults(expect, again);
+}
+
+TEST(ThreadPoolExecutor, OneWorkerMatchesSerialExecutor)
+{
+    SweepRunner serial;
+    const auto expect = serial.run(smallSweep());
+
+    ThreadPoolExecutor pool(1);
+    SweepRunner one(WorkloadRegistry::global(), &pool);
+    expectSameResults(expect, one.run(smallSweep()));
+}
+
+TEST(ThreadPoolExecutor, JsonExportByteIdenticalAcrossWorkerCounts)
+{
+    auto render = [](Executor *ex) {
+        SweepRunner runner(WorkloadRegistry::global(), ex);
+        std::ostringstream os;
+        const auto sink = makeResultSink(ResultFormat::Json, os);
+        runner.run(smallSweep(), sink.get(), "determinism");
+        return os.str();
+    };
+    const std::string serial = render(nullptr);
+    ThreadPoolExecutor pool4(4);
+    EXPECT_EQ(serial, render(&pool4));
+    ThreadPoolExecutor pool2(2);
+    EXPECT_EQ(serial, render(&pool2));
+    EXPECT_FALSE(serial.empty());
+}
+
+TEST(SweepRunner, SetExecutorSwapsBackend)
+{
+    struct CountingExecutor final : Executor
+    {
+        std::size_t batches = 0;
+        void
+        run(std::vector<std::function<void()>> jobs) override
+        {
+            ++batches;
+            for (auto &j : jobs)
+                j();
+        }
+    };
+    CountingExecutor ex;
+    SweepRunner runner;
+    runner.setExecutor(&ex);
+    SweepSpec sweep;
+    sweep.workloads = {"EP"};
+    sweep.coreCounts = {4};
+    sweep.scales = {0.25};
+    runner.run(sweep);
+    EXPECT_EQ(ex.batches, 1u);
+    runner.setExecutor(nullptr);  // back to built-in serial
+    runner.run(sweep);
+    EXPECT_EQ(ex.batches, 1u);
+}
+
+} // namespace
+} // namespace spmcoh
