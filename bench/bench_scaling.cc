@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Scaling study beyond the paper's 64-core machine: CG on
+ * {64, 128, 256, 512, 1024} cores in all three modes, on the
+ * topology-derived meshes (8x8 through 32x32, memory controllers
+ * growing from 4 corner tiles to 16 corner/edge tiles).
+ *
+ * The paper evaluates only the Table 1 machine; this harness
+ * calibrates how its headline results extrapolate. What to look
+ * for: a protocol overhead (proto vs ideal) that stays within a
+ * few percent as the directory and FilterDir spread over more
+ * slices, and the hybrid-vs-cache speedup curve (sync-bound dip
+ * at 128-256 cores, recovering beyond — see
+ * docs/reproducing-figures.md, "Scaling beyond the Table 1
+ * machine").
+ */
+
+#include <cstdio>
+
+#include "BenchUtil.hh"
+
+using namespace spmcoh;
+using namespace spmcoh::benchutil;
+
+namespace
+{
+
+constexpr std::uint32_t coreCounts[] = {64, 128, 256, 512, 1024};
+
+const ExperimentResult &
+at(const std::vector<ExperimentResult> &results, SystemMode mode,
+   std::uint32_t cores)
+{
+    for (const ExperimentResult &r : results)
+        if (r.spec.mode == mode && r.spec.cores == cores)
+            return r;
+    fatal("bench_scaling: missing sweep point");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchMain bm = parseArgs(
+        argc, argv,
+        "Scaling: CG from 64 to 1024 cores, cache vs hybrid-ideal "
+        "vs hybrid-proto on topology-derived meshes");
+
+    SweepSpec sweep;
+    sweep.workloads = {"CG"};
+    sweep.modes = {SystemMode::CacheOnly, SystemMode::HybridIdeal,
+                   SystemMode::HybridProto};
+    sweep.coreCounts.assign(std::begin(coreCounts),
+                            std::end(coreCounts));
+    sweep.scales = {evalScale};
+
+    const auto sink = bm.sink();
+    const auto results = bm.runner.run(
+        sweep, sink.get(),
+        "Scaling: CG, 64-1024 cores, all modes");
+    if (!bm.table())
+        return 0;
+
+    header("Scaling: CG, 64-1024 cores (cycles normalized to the "
+           "64-core run of each mode)");
+    std::printf("%7s %7s %5s | %12s %12s %12s | %9s %9s\n",
+                "cores", "mesh", "MCs", "cache", "hybrid-ideal",
+                "hybrid-proto", "speedup", "overhead");
+    const Tick c64 =
+        at(results, SystemMode::CacheOnly, 64).results.cycles;
+    const Tick i64 =
+        at(results, SystemMode::HybridIdeal, 64).results.cycles;
+    const Tick p64 =
+        at(results, SystemMode::HybridProto, 64).results.cycles;
+    for (std::uint32_t n : coreCounts) {
+        const ExperimentResult &c =
+            at(results, SystemMode::CacheOnly, n);
+        const ExperimentResult &i =
+            at(results, SystemMode::HybridIdeal, n);
+        const ExperimentResult &p =
+            at(results, SystemMode::HybridProto, n);
+        char mesh[16];
+        std::snprintf(mesh, sizeof(mesh), "%ux%u",
+                      c.params.mesh.width, c.params.mesh.height);
+        std::printf(
+            "%7u %7s %5zu | %5.2f %6llu %5.2f %6llu %5.2f %6llu "
+            "| %8.3fx %+7.1f%%\n",
+            n, mesh, c.params.mcTiles.size(),
+            double(c.results.cycles) / double(c64),
+            static_cast<unsigned long long>(c.results.cycles),
+            double(i.results.cycles) / double(i64),
+            static_cast<unsigned long long>(i.results.cycles),
+            double(p.results.cycles) / double(p64),
+            static_cast<unsigned long long>(p.results.cycles),
+            double(c.results.cycles) / double(p.results.cycles),
+            100.0 * (double(p.results.cycles) /
+                         double(i.results.cycles) -
+                     1.0));
+    }
+    std::printf("\nspeedup = cache / hybrid-proto cycles; overhead "
+                "= hybrid-proto over hybrid-ideal.\n"
+                "64-core reference: the paper's Table 1 machine "
+                "(Fig. 7 overhead +1..11%%, Fig. 9 speedup "
+                "1.03-1.22x).\n");
+    return 0;
+}

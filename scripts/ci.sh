@@ -19,4 +19,16 @@ echo "== spmcoh_run smoke test =="
     --format=json > "$BUILD_DIR"/smoke.json
 # The run must have produced a non-empty result set.
 grep -q '"workload":"CG"' "$BUILD_DIR"/smoke.json
+
+echo "== result regression check (CG 8-core vs golden) =="
+"$BUILD_DIR"/spmcoh_run --workload=CG --cores=8 --jobs=2 \
+    --format=json --no-stats > "$BUILD_DIR"/smoke8.json
+python3 scripts/diff_results.py "$BUILD_DIR"/smoke8.json \
+    tests/golden/cg8_smoke.json
+
+echo "== large-mesh smoke test (256 cores, 16x16) =="
+"$BUILD_DIR"/spmcoh_run --workload=CG --cores=256 --jobs=auto \
+    --format=json > "$BUILD_DIR"/smoke256.json
+grep -q '"cores":256' "$BUILD_DIR"/smoke256.json
+grep -q '"meshWidth":16' "$BUILD_DIR"/smoke256.json
 echo "ok"

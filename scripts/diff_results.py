@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two spmcoh JSON result exports for regressions.
+
+Usage: diff_results.py CANDIDATE.json BASELINE.json
+           [--tol-cycles=PCT] [--tol-traffic=PCT] [--tol-energy=PCT]
+           [--tol-counters=PCT]
+
+Both files are ``--format=json`` exports from spmcoh_run or any
+bench harness. Results are matched by their spec label (workload /
+mode / cores / scale / variant); for every pair the headline metrics
+are compared against per-metric relative tolerances (in percent).
+
+Exit status: 0 when every metric of every matched result is within
+tolerance AND the two files cover the same result set; 1 on any
+regression, missing result, or malformed input. The report lists
+every deviation, not just the first, so CI output is actionable.
+"""
+
+import argparse
+import json
+import sys
+
+# metric name -> (extractor, tolerance bucket)
+METRICS = {
+    "cycles": (lambda r: r["cycles"], "cycles"),
+    "phase.control": (lambda r: r["phaseCycles"]["control"], "cycles"),
+    "phase.sync": (lambda r: r["phaseCycles"]["sync"], "cycles"),
+    "phase.work": (lambda r: r["phaseCycles"]["work"], "cycles"),
+    "traffic.totalPackets":
+        (lambda r: r["traffic"]["totalPackets"], "traffic"),
+    "traffic.flitHops": (lambda r: r["traffic"]["flitHops"], "traffic"),
+    "energy.total": (lambda r: r["energy"]["total"], "energy"),
+    "counters.instructions":
+        (lambda r: r["counters"]["instructions"], "counters"),
+    "counters.dmaLines":
+        (lambda r: r["counters"]["dmaLines"], "counters"),
+    "filter.hitRatio": (lambda r: r["filter"]["hitRatio"], "counters"),
+}
+
+
+def load_results(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        sys.exit(f"error: {path} has no 'results' array")
+    by_label = {}
+    for r in results:
+        label = r.get("spec", {}).get("label")
+        if not label:
+            sys.exit(f"error: {path}: result without a spec label")
+        if label in by_label:
+            sys.exit(f"error: {path}: duplicate result '{label}'")
+        by_label[label] = r
+    return by_label
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("candidate", help="JSON export under test")
+    ap.add_argument("baseline", help="golden/previous JSON export")
+    ap.add_argument("--tol-cycles", type=float, default=0.0,
+                    help="cycle-count tolerance, %% (default 0)")
+    ap.add_argument("--tol-traffic", type=float, default=0.0,
+                    help="packet/flit tolerance, %% (default 0)")
+    ap.add_argument("--tol-energy", type=float, default=0.01,
+                    help="energy tolerance, %% (default 0.01; "
+                         "absorbs float formatting)")
+    ap.add_argument("--tol-counters", type=float, default=0.0,
+                    help="event-counter tolerance, %% (default 0)")
+    args = ap.parse_args()
+
+    tolerances = {
+        "cycles": args.tol_cycles,
+        "traffic": args.tol_traffic,
+        "energy": args.tol_energy,
+        "counters": args.tol_counters,
+    }
+
+    cand = load_results(args.candidate)
+    base = load_results(args.baseline)
+
+    failures = []
+    for label in sorted(set(base) - set(cand)):
+        failures.append(f"{label}: missing from {args.candidate}")
+    for label in sorted(set(cand) - set(base)):
+        failures.append(f"{label}: not in baseline {args.baseline}")
+
+    compared = 0
+    for label in sorted(set(cand) & set(base)):
+        for name, (extract, bucket) in METRICS.items():
+            try:
+                new, old = extract(cand[label]), extract(base[label])
+            except (KeyError, TypeError):
+                failures.append(f"{label}: metric {name} missing")
+                continue
+            compared += 1
+            tol = tolerances[bucket]
+            ref = max(abs(old), 1e-12)
+            delta_pct = 100.0 * (new - old) / ref
+            if abs(delta_pct) > tol:
+                failures.append(
+                    f"{label}: {name} {old} -> {new} "
+                    f"({delta_pct:+.3f}%, tolerance {tol}%)")
+
+    if failures:
+        print(f"diff_results: {len(failures)} deviation(s) between "
+              f"{args.candidate} and {args.baseline}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"diff_results: {len(cand)} result(s), {compared} metric "
+          f"comparison(s), all within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

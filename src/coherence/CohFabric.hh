@@ -43,8 +43,9 @@ struct CohFabric
     CoreId
     homeFor(Addr base) const
     {
-        return static_cast<CoreId>(
-            (base >> config.log2Bytes()) % ctrls.size());
+        return interleaveSlice(
+            base >> config.log2Bytes(),
+            static_cast<std::uint32_t>(ctrls.size()));
     }
 };
 

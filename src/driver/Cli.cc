@@ -7,9 +7,11 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "cpu/CoreModel.hh"
 #include "sim/Logging.hh"
+#include "system/Topology.hh"
 
 namespace spmcoh
 {
@@ -59,7 +61,9 @@ cliUsage(const std::string &prog)
         "                    registered workload (required)\n"
         "  --mode=LIST       cache | hybrid-ideal | hybrid-proto\n"
         "                    (default: hybrid-proto)\n"
-        "  --cores=LIST      core counts (default: 64)\n"
+        "  --cores=LIST      core counts (default: 64); each count\n"
+        "                    must tile a mesh (64, 128, 256, 512,\n"
+        "                    1024, ..., up to 4096)\n"
         "  --scale=LIST      workload scale factors (default: 1.0)\n"
         "\n"
         "variant axes (cartesian with each other):\n"
@@ -172,11 +176,16 @@ parseCli(const std::vector<std::string> &args,
         } else if ((v = flagValue(arg, "--cores"))) {
             for (const std::string &c : splitList(*v)) {
                 const auto n = parseUint(c);
-                if (!n || *n == 0)
+                if (!n || *n == 0 ||
+                    *n > std::numeric_limits<std::uint32_t>::max()) {
                     errs.push_back("bad core count '" + c + "'");
+                    continue;
+                }
+                const auto count = static_cast<std::uint32_t>(*n);
+                if (const auto err = Topology::checkCores(count))
+                    errs.push_back("--cores=" + c + ": " + *err);
                 else
-                    opt.sweep.coreCounts.push_back(
-                        static_cast<std::uint32_t>(*n));
+                    opt.sweep.coreCounts.push_back(count);
             }
         } else if ((v = flagValue(arg, "--scale"))) {
             for (const std::string &s : splitList(*v)) {

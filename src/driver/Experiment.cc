@@ -118,11 +118,15 @@ snapshotStats(const System &sys)
 SystemParams
 ExperimentSpec::resolvedParams() const
 {
-    SystemParams p = paramsOverride
-        ? *paramsOverride
-        : SystemParams::forMode(mode, cores);
+    if (!paramsOverride)
+        return SystemParams::forMode(mode, cores);
+    // The mode axis is always authoritative; the core count is NOT
+    // stamped onto an override, because the override's mesh and
+    // memory controller placement were derived for its own core
+    // count — validateExperiment rejects a mismatch instead of
+    // constructing a mis-shaped system.
+    SystemParams p = *paramsOverride;
     p.mode = mode;
-    p.numCores = cores;
     return p;
 }
 
@@ -148,21 +152,33 @@ validateExperiment(const ExperimentSpec &spec,
     else if (!reg.contains(spec.workload))
         errs.push_back("unknown workload '" + spec.workload +
                        "'; known workloads: " + reg.namesJoined());
-    if (spec.cores == 0)
-        errs.push_back("core count must be at least 1");
-    else if (spec.cores > 4096)
-        errs.push_back("core count " + std::to_string(spec.cores) +
-                       " exceeds the 4096-core model limit");
+    const auto cores_err = Topology::checkCores(spec.cores);
+    if (cores_err && !spec.paramsOverride)
+        errs.push_back(*cores_err);
     if (!(spec.scale > 0.0) || !std::isfinite(spec.scale))
         errs.push_back("workload scale must be positive and finite");
 
-    if (spec.cores != 0 && spec.cores <= 4096) {
-        const SystemParams p = spec.resolvedParams();
-        if (std::uint64_t(p.mesh.width) * p.mesh.height < spec.cores)
+    if (spec.paramsOverride) {
+        // An override carries its own topology; it must have been
+        // built for exactly this core count (resolvedParams no
+        // longer stamps numCores — see the comment there).
+        const SystemParams &p = *spec.paramsOverride;
+        if (spec.cores == 0 || spec.cores > Topology::maxCores)
+            errs.push_back(*cores_err);
+        else if (p.numCores != spec.cores)
+            errs.push_back(
+                "params override was built for " +
+                std::to_string(p.numCores) + " cores but the spec "
+                "says " + std::to_string(spec.cores) +
+                "; rebuild it with SystemParams::forMode(mode, " +
+                std::to_string(spec.cores) + ")");
+        const std::uint64_t tiles =
+            std::uint64_t(p.mesh.width) * p.mesh.height;
+        if (tiles < p.numCores)
             errs.push_back(
                 "mesh " + std::to_string(p.mesh.width) + "x" +
                 std::to_string(p.mesh.height) + " is smaller than " +
-                std::to_string(spec.cores) + " cores");
+                std::to_string(p.numCores) + " cores");
         if (p.spmBytes == 0 || !isPow2(p.spmBytes))
             errs.push_back("spmBytes must be a non-zero power of "
                            "two, got " + std::to_string(p.spmBytes));
@@ -170,10 +186,10 @@ validateExperiment(const ExperimentSpec &spec,
             errs.push_back("at least one memory controller tile is "
                            "required");
         for (CoreId t : p.mcTiles)
-            if (t >= spec.cores)
+            if (t >= tiles)
                 errs.push_back("memory controller tile " +
                                std::to_string(t) +
-                               " is outside the core range");
+                               " is outside the mesh");
     }
     return errs;
 }
@@ -228,14 +244,16 @@ ExperimentSpec
 ExperimentBuilder::spec() const
 {
     ExperimentSpec out = s;
-    if (!tweaks.empty()) {
+    // Validate before resolving: resolvedParams derives a topology,
+    // which is only defined for tileable core counts.
+    std::vector<std::string> errs = validateExperiment(out, *reg);
+    if (errs.empty() && !tweaks.empty()) {
         SystemParams p = out.resolvedParams();
         for (const auto &fn : tweaks)
             fn(p);
         out.paramsOverride = p;
+        errs = validateExperiment(out, *reg);
     }
-    const std::vector<std::string> errs =
-        validateExperiment(out, *reg);
     if (!errs.empty()) {
         std::string msg = "invalid experiment spec:";
         for (const std::string &e : errs)

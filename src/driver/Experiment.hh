@@ -81,12 +81,20 @@ struct ExperimentSpec
     /** Label for a parameter variant in sweeps ("" = baseline). */
     std::string variant;
     /**
-     * Replaces the Table 1 defaults when set; mode and numCores are
-     * always taken from the spec fields above.
+     * Replaces the derived defaults when set. The mode is always
+     * taken from the spec field above; the override must have been
+     * built for exactly `cores` cores (its mesh and memory
+     * controller placement are geometry-dependent), or
+     * validateExperiment rejects the spec.
      */
     std::optional<SystemParams> paramsOverride;
 
-    /** The SystemParams this spec resolves to. */
+    /**
+     * The SystemParams this spec resolves to. Without an override
+     * this derives the topology for `cores`, which is fatal for
+     * untileable counts — validate first (validateExperiment wraps
+     * Topology::checkCores).
+     */
     SystemParams resolvedParams() const;
 
     /** "CG/hybrid-proto/64c/x1.00[+variant]" display label. */

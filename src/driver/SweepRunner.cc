@@ -38,13 +38,19 @@ SweepRunner::expand(const SweepSpec &sweep) const
                         e.cores = c;
                         e.scale = s;
                         e.variant = v.name;
-                        if (v.tweak) {
+                        // Validate before resolving: the tweak
+                        // needs resolvedParams, which derives a
+                        // topology only defined for tileable core
+                        // counts.
+                        std::vector<std::string> point_errs =
+                            validateExperiment(e, *reg);
+                        if (point_errs.empty() && v.tweak) {
                             SystemParams p = e.resolvedParams();
                             v.tweak(p);
                             e.paramsOverride = p;
+                            point_errs = validateExperiment(e, *reg);
                         }
-                        for (const std::string &err :
-                             validateExperiment(e, *reg))
+                        for (const std::string &err : point_errs)
                             errs.push_back(e.label() + ": " + err);
                         specs.push_back(std::move(e));
                     }

@@ -45,7 +45,7 @@ class MemNet
     CoreId
     homeSlice(Addr line_addr) const
     {
-        return static_cast<CoreId>((line_addr >> lineShift) % numCores);
+        return interleaveSlice(line_addr >> lineShift, numCores);
     }
 
     /** Memory controller index nearest to a tile (static mapping). */

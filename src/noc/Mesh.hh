@@ -87,27 +87,40 @@ class Mesh
     /**
      * Account a packet's traffic without simulating its delivery.
      * Used for the per-destination legs of aggregated broadcasts.
+     * Local (h=0) delivery crosses no link, so it contributes no
+     * flit-hops — consistent with routeLatency()/reserve(), which
+     * charge it one router traversal only.
      */
     void
     account(CoreId src, CoreId dst, TrafficClass cls,
             std::uint32_t bytes)
     {
-        const std::uint32_t h = hops(src, dst);
         counters.add(cls, 1, bytes,
                      static_cast<std::uint64_t>(flits(bytes)) *
-                     (h ? h : 1));
+                     hops(src, dst));
+    }
+
+    /**
+     * Contention-free latency of an @p h -hop unicast on a mesh
+     * described by @p mp. Every hop costs router + link; the
+     * destination router also processes the packet. Serialization
+     * adds flits-1 cycles. Static so topology derivation can price
+     * a geometry before any mesh is built.
+     */
+    static Tick
+    contentionFreeLatency(const MeshParams &mp, std::uint32_t h,
+                          std::uint32_t bytes)
+    {
+        return mp.routerLatency +
+               h * (mp.routerLatency + mp.linkLatency) +
+               (flitsFor(mp, bytes) - 1);
     }
 
     /** Contention-free latency of a unicast (for planning/oracles). */
     Tick
     routeLatency(CoreId src, CoreId dst, std::uint32_t bytes) const
     {
-        const std::uint32_t h = hops(src, dst);
-        // Every hop costs router + link; the destination router also
-        // processes the packet. Serialization adds flits-1 cycles.
-        return p.routerLatency +
-               h * (p.routerLatency + p.linkLatency) +
-               (flits(bytes) - 1);
+        return contentionFreeLatency(p, hops(src, dst), bytes);
     }
 
     /** Worst-case contention-free latency from @p src to any tile. */
@@ -139,12 +152,18 @@ class Mesh
         return {id % p.width, id / p.width};
     }
 
+    static std::uint32_t
+    flitsFor(const MeshParams &mp, std::uint32_t bytes)
+    {
+        const std::uint32_t f =
+            static_cast<std::uint32_t>(divCeil(bytes, mp.flitBytes));
+        return f ? f : 1;
+    }
+
     std::uint32_t
     flits(std::uint32_t bytes) const
     {
-        const std::uint32_t f =
-            static_cast<std::uint32_t>(divCeil(bytes, p.flitBytes));
-        return f ? f : 1;
+        return flitsFor(p, bytes);
     }
 
     /** Directional link index leaving (x,y) toward direction d. */

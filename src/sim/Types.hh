@@ -75,6 +75,19 @@ divCeil(std::uint64_t a, std::uint64_t b)
     return (a + b - 1) / b;
 }
 
+/**
+ * Home slice for @p key over @p slices equal slices (directory and
+ * FilterDir interleaving). Power-of-two slice counts select bits
+ * with a mask, as the hardware address decomposition does; other
+ * counts fall back to a modulo.
+ */
+constexpr CoreId
+interleaveSlice(std::uint64_t key, std::uint32_t slices)
+{
+    return static_cast<CoreId>(
+        isPow2(slices) ? key & (slices - 1) : key % slices);
+}
+
 } // namespace spmcoh
 
 #endif // SPMCOH_SIM_TYPES_HH

@@ -12,8 +12,22 @@ System::System(const SystemParams &p_)
     : p(p_), eq(), noc(eq, p_.mesh),
       amap(p_.numCores, p_.spmBytes)
 {
-    if (p.mesh.width * p.mesh.height < p.numCores)
-        fatal("System: mesh smaller than the core count");
+    const std::uint64_t tiles =
+        static_cast<std::uint64_t>(p.mesh.width) * p.mesh.height;
+    if (p.numCores > tiles)
+        fatal("System: " + std::to_string(p.numCores) +
+              " cores exceed the " + std::to_string(p.mesh.width) +
+              "x" + std::to_string(p.mesh.height) + " mesh (" +
+              std::to_string(tiles) + " tiles)");
+    if (p.mcTiles.empty())
+        fatal("System: at least one memory controller tile is "
+              "required");
+    for (CoreId t : p.mcTiles)
+        if (t >= tiles)
+            fatal("System: memory controller tile " +
+                  std::to_string(t) + " is outside the " +
+                  std::to_string(p.mesh.width) + "x" +
+                  std::to_string(p.mesh.height) + " mesh");
     fabric.ideal = p.mode == SystemMode::HybridIdeal;
 
     net = std::make_unique<MemNet>(eq, noc, p.numCores, p.mcTiles);

@@ -5,8 +5,10 @@
  * with the proposed SPM coherence protocol.
  *
  * Every tile hosts a core, L1I/L1D, TLB, SPM, DMAC, SPM coherence
- * controller, one L2/directory slice and one FilterDir slice; four
- * memory controllers sit at the mesh corners.
+ * controller, one L2/directory slice and one FilterDir slice;
+ * memory controllers sit at the mesh corners (four on the Table 1
+ * machine, scaling with the core count — see Topology.hh for how
+ * larger meshes are derived).
  */
 
 #ifndef SPMCOH_SYSTEM_SYSTEM_HH
@@ -31,6 +33,7 @@
 #include "spm/Dmac.hh"
 #include "spm/Spm.hh"
 #include "sim/EventQueue.hh"
+#include "system/Topology.hh"
 
 namespace spmcoh
 {
@@ -53,13 +56,25 @@ struct SystemParams
     CohParams coh{};
     FilterDirParams filterDir{};
     CoreParams core{};
+    /** Table 1: four controllers at the 8x8 mesh corners. forMode
+     *  re-derives this (with the mesh) for any other core count. */
     std::vector<CoreId> mcTiles = {0, 7, 56, 63};
-    Tick barrierLatency = 50;
+    /** Release round trip across the 8x8 mesh diameter; forMode
+     *  re-derives it from the chosen geometry. */
+    Tick barrierLatency = 58;
     /** Deadlock guard for event-loop runs. */
     Tick maxTicks = std::uint64_t(4) << 32;
     EnergyParams energy{};
 
     /**
+     * Canonical configuration for a mode and core count. The mesh,
+     * memory controller placement and barrier latency are derived
+     * by the topology layer (Topology.hh): the most-square mesh
+     * whose tile count equals the core count, controllers at the
+     * corners (spreading along the edges as the count grows), and
+     * a geometry-derived barrier release latency. Fatal on core
+     * counts no mesh can tile (Topology::checkCores).
+     *
      * Fairness rule of Sec. 5.4: the cache-based system gets a 64KB
      * L1D (32KB L1D + 32KB SPM equivalent) at unchanged latency.
      */
@@ -69,17 +84,11 @@ struct SystemParams
         SystemParams p;
         p.mode = m;
         p.numCores = cores;
-        if (cores != 64) {
-            // Square-ish mesh for small test systems.
-            std::uint32_t w = 1;
-            while (w * w < cores)
-                ++w;
-            p.mesh.width = w;
-            p.mesh.height = divCeil(cores, w);
-            p.mcTiles = {0};
-            if (cores > 1)
-                p.mcTiles.push_back(cores - 1);
-        }
+        const Topology t = Topology::forCores(cores, p.mesh);
+        p.mesh.width = t.width;
+        p.mesh.height = t.height;
+        p.mcTiles = t.mcTiles;
+        p.barrierLatency = t.barrierLatency;
         if (m == SystemMode::CacheOnly) {
             p.l1d.sizeBytes = 64 * 1024;
             p.energy.hybridStructuresPresent = false;

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Mesh topology derivation.
+ */
+
+#include "system/Topology.hh"
+
+#include <algorithm>
+
+#include "sim/Logging.hh"
+
+namespace spmcoh
+{
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>>
+Topology::meshDims(std::uint32_t cores)
+{
+    if (cores == 0 || cores > maxCores)
+        return std::nullopt;
+    // Largest divisor not above sqrt(cores) is the height of the
+    // most-square factorization.
+    std::uint32_t height = 1;
+    for (std::uint32_t h = 1;
+         static_cast<std::uint64_t>(h) * h <= cores; ++h)
+        if (cores % h == 0)
+            height = h;
+    const std::uint32_t width = cores / height;
+    if (width > maxAspect * height)
+        return std::nullopt;
+    return std::make_pair(width, height);
+}
+
+std::optional<std::string>
+Topology::checkCores(std::uint32_t cores)
+{
+    if (cores == 0)
+        return "core count must be at least 1";
+    if (cores > maxCores)
+        return "core count " + std::to_string(cores) +
+               " exceeds the " + std::to_string(maxCores) +
+               "-core model limit (64x64 mesh)";
+    if (!meshDims(cores)) {
+        // Suggest the nearest tileable counts so the error is
+        // actionable from the CLI.
+        std::uint32_t below = cores, above = cores;
+        while (below > 1 && !meshDims(below))
+            --below;
+        while (above < maxCores && !meshDims(above))
+            ++above;
+        return std::to_string(cores) +
+               " cores cannot tile a mesh (no factorization within "
+               "a " + std::to_string(maxAspect) +
+               ":1 aspect ratio); nearest supported counts are " +
+               std::to_string(below) + " and " + std::to_string(above);
+    }
+    return std::nullopt;
+}
+
+std::uint32_t
+Topology::memCtrlCount(std::uint32_t cores)
+{
+    // Largest power of two c with c <= sqrt(cores)/2, i.e.
+    // 4*c*c <= cores; floor of one controller.
+    std::uint32_t n = 1;
+    while (static_cast<std::uint64_t>(4) * (2 * n) * (2 * n) <= cores)
+        n *= 2;
+    return n;
+}
+
+std::vector<CoreId>
+Topology::memCtrlTiles(std::uint32_t width, std::uint32_t height,
+                       std::uint32_t count)
+{
+    if (width == 0 || height == 0 || count == 0)
+        fatal("Topology: memCtrlTiles needs a mesh and a count");
+    const auto tile = [width](std::uint32_t x, std::uint32_t y) {
+        return static_cast<CoreId>(y * width + x);
+    };
+
+    std::vector<CoreId> tiles;
+    // Opposite corners first, so one- and two-controller systems
+    // straddle the mesh diagonal.
+    const CoreId corners[4] = {tile(0, 0),
+                               tile(width - 1, height - 1),
+                               tile(width - 1, 0),
+                               tile(0, height - 1)};
+    for (std::uint32_t i = 0; i < std::min<std::uint32_t>(count, 4);
+         ++i)
+        tiles.push_back(corners[i]);
+
+    if (count > 4) {
+        if (count % 4 != 0)
+            fatal("Topology: controller counts beyond 4 must spread "
+                  "evenly over the 4 edges, got " +
+                  std::to_string(count));
+        const std::uint32_t per_edge = count / 4 - 1;
+        for (std::uint32_t j = 1; j <= per_edge; ++j) {
+            const std::uint32_t x = j * (width - 1) / (per_edge + 1);
+            const std::uint32_t y = j * (height - 1) / (per_edge + 1);
+            tiles.push_back(tile(x, 0));               // top edge
+            tiles.push_back(tile(x, height - 1));      // bottom edge
+            tiles.push_back(tile(0, y));               // left edge
+            tiles.push_back(tile(width - 1, y));       // right edge
+        }
+    }
+
+    std::sort(tiles.begin(), tiles.end());
+    tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
+    return tiles;
+}
+
+Topology
+Topology::forCores(std::uint32_t cores, const MeshParams &mesh)
+{
+    if (const auto err = checkCores(cores))
+        fatal("Topology: " + *err);
+    const auto dims = *meshDims(cores);
+
+    Topology t;
+    t.width = dims.first;
+    t.height = dims.second;
+    t.mcTiles = memCtrlTiles(t.width, t.height, memCtrlCount(cores));
+
+    // Barrier release: the master gathers the last arrival and
+    // broadcasts the release, a round trip across the mesh diameter
+    // in control packets.
+    const std::uint32_t diameter = (t.width - 1) + (t.height - 1);
+    t.barrierLatency =
+        2 * Mesh::contentionFreeLatency(mesh, diameter,
+                                        ctrlPacketBytes);
+    return t;
+}
+
+} // namespace spmcoh

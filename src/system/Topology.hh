@@ -1,0 +1,112 @@
+/**
+ * @file
+ * First-class mesh topology construction for any supported core
+ * count.
+ *
+ * The paper evaluates one fixed machine (Table 1: 64 cores on an
+ * 8x8 mesh, four memory controllers at the corners). Everything the
+ * >64-core configurations need is derived here from the core count
+ * alone:
+ *
+ *  - the most-square mesh whose tile count equals the core count
+ *    (64 -> 8x8, 128 -> 16x8, 256 -> 16x16, 1024 -> 32x32); counts
+ *    with no balanced factorization (primes and other degenerate
+ *    shapes) are rejected with a clear error instead of silently
+ *    over-building tiles;
+ *  - a memory controller population that scales with the core count
+ *    (4 at 64 cores, 8 at 256, 16 at 1024), placed at the true mesh
+ *    corners and spread evenly along the edges beyond four;
+ *  - the barrier release latency, derived as a control-packet
+ *    round trip across the chosen geometry's diameter
+ *    (Mesh::contentionFreeLatency) instead of a hard-coded
+ *    constant that only fits the 8x8 mesh.
+ *
+ * Directory and FilterDir slice interleaving uses interleaveSlice()
+ * (sim/Types.hh, shared with MemNet and CohFabric) so power-of-two
+ * slice counts — every power-of-two geometry — decompose addresses
+ * with a mask, exactly as the hardware would.
+ */
+
+#ifndef SPMCOH_SYSTEM_TOPOLOGY_HH
+#define SPMCOH_SYSTEM_TOPOLOGY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "noc/Mesh.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+/** Everything SystemParams derives from a core count. */
+struct Topology
+{
+    std::uint32_t width = 0;       ///< mesh tiles per row (>= height)
+    std::uint32_t height = 0;      ///< mesh tiles per column
+    std::vector<CoreId> mcTiles;   ///< corner/edge memory controllers
+    Tick barrierLatency = 0;       ///< derived release latency
+
+    std::uint32_t tiles() const { return width * height; }
+
+    /** Largest supported core count (a 64x64 mesh). */
+    static constexpr std::uint32_t maxCores = 4096;
+
+    /**
+     * Widest mesh accepted relative to its height. The most-square
+     * factorization of the core count must satisfy
+     * width <= maxAspect * height; beyond that the "mesh" degrades
+     * into a chain and latency/bisection stop resembling the
+     * machine the paper models.
+     */
+    static constexpr std::uint32_t maxAspect = 4;
+
+    /**
+     * Derive the full topology for @p cores on links described by
+     * @p mesh (only latency/flit parameters are read; width/height
+     * are outputs, not inputs). Fatal on unsupported counts — use
+     * checkCores() first to validate without throwing.
+     */
+    static Topology forCores(std::uint32_t cores,
+                             const MeshParams &mesh = MeshParams{});
+
+    /**
+     * Why @p cores cannot be tiled, as a human-readable message;
+     * nullopt when forCores() would succeed.
+     */
+    static std::optional<std::string> checkCores(std::uint32_t cores);
+
+    /**
+     * Most-square factorization width x height == cores with
+     * width >= height; nullopt when the count is zero, exceeds
+     * maxCores, or only factors into a mesh wider than
+     * maxAspect * height.
+     */
+    static std::optional<std::pair<std::uint32_t, std::uint32_t>>
+    meshDims(std::uint32_t cores);
+
+    /**
+     * Memory controllers for @p cores: the largest power of two not
+     * exceeding sqrt(cores)/2, with a floor of one. Matches the
+     * paper's four at 64 cores and doubles every quadrupling of the
+     * machine (8 at 256, 16 at 1024).
+     */
+    static std::uint32_t memCtrlCount(std::uint32_t cores);
+
+    /**
+     * Place @p count controllers on a width x height mesh: the four
+     * true corners first, then (count - 4) spread evenly along the
+     * four edges. Returned sorted ascending, duplicates removed
+     * (degenerate 1-wide/1-tall meshes).
+     */
+    static std::vector<CoreId>
+    memCtrlTiles(std::uint32_t width, std::uint32_t height,
+                 std::uint32_t count);
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SYSTEM_TOPOLOGY_HH

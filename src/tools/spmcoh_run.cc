@@ -9,6 +9,11 @@
  *   spmcoh_run --workload=CG --cores=8 --format=json
  *   spmcoh_run --workload=all --mode=cache,hybrid-proto --jobs=8
  *   spmcoh_run --workload=CG,IS --filter-entries=4,16,48,128
+ *   spmcoh_run --workload=CG --mode=hybrid-proto --cores=1024
+ *
+ * Core counts are validated at parse time against the topology
+ * layer (Topology::checkCores): each count must tile a mesh, up to
+ * 4096 cores on a 64x64 grid.
  */
 
 #include <cstdio>

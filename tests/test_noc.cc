@@ -152,5 +152,24 @@ TEST(Mesh, LocalDeliveryStillCostsARouter)
     EXPECT_EQ(m.routeLatency(5, 5, ctrlPacketBytes), 1u);
 }
 
+TEST(Mesh, LocalAccountingChargesNoLinkFlits)
+{
+    EventQueue eq;
+    Mesh m(eq, params8x8());
+    // Local (h=0) delivery is router-only: a packet and its bytes
+    // are counted, but no flits cross any link — consistent with
+    // routeLatency/reserve, which charge no link traversal.
+    m.account(5, 5, TrafficClass::Read, dataPacketBytes);
+    EXPECT_EQ(m.traffic().totalPackets(), 1u);
+    EXPECT_GT(m.traffic().bytes[std::size_t(TrafficClass::Read)], 0u);
+    EXPECT_EQ(m.traffic().flitHops, 0u);
+    m.send(5, 5, TrafficClass::Read, dataPacketBytes, nullptr);
+    EXPECT_EQ(m.traffic().flitHops, 0u);
+    // One hop still charges flits x 1.
+    m.account(0, 1, TrafficClass::Read, dataPacketBytes);
+    EXPECT_EQ(m.traffic().flitHops, 5u);  // 72B / 16B-flits = 5
+    eq.run();
+}
+
 } // namespace
 } // namespace spmcoh
