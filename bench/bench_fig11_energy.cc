@@ -49,7 +49,7 @@ main(int argc, char **argv)
     header("Figure 11: normalized energy, cache-based (C) vs hybrid "
            "(H)");
     std::vector<double> ratios;
-    for (const std::string &w : bm.runner.registry().names()) {
+    for (const std::string &w : nasWorkloads()) {
         const RunResults &c =
             findResult(results, w, SystemMode::CacheOnly).results;
         const RunResults &h =

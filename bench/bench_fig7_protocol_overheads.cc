@@ -35,7 +35,7 @@ main(int argc, char **argv)
     std::printf("%-5s %12s %12s %12s\n", "Bench", "ExecTime",
                 "Energy", "NoCtraffic");
     std::vector<double> ot, oe, on;
-    for (const std::string &w : bm.runner.registry().names()) {
+    for (const std::string &w : nasWorkloads()) {
         const RunResults &ideal =
             findResult(results, w, SystemMode::HybridIdeal).results;
         const RunResults &proto =

@@ -52,7 +52,7 @@ main(int argc, char **argv)
     header("Figure 9: normalized cycles, cache-based (C) vs hybrid "
            "(H)");
     std::vector<double> speedups;
-    for (const std::string &w : bm.runner.registry().names()) {
+    for (const std::string &w : nasWorkloads()) {
         const RunResults &c =
             findResult(results, w, SystemMode::CacheOnly).results;
         const RunResults &h =

@@ -1,7 +1,8 @@
 /**
  * @file
  * Sparse gather workload (CG-like) demonstrating the guarded access
- * machinery directly: the same loop is run (a) with data that never
+ * machinery directly, via the registered "gather" workload's
+ * `aliased` parameter: the same loop is run (a) with data that never
  * aliases the SPM mappings -- the filters absorb every check -- and
  * (b) with a deliberately aliased gather target, so guarded accesses
  * are diverted to local and remote SPMs (Fig. 5b/5d paths).
@@ -41,55 +42,16 @@ report(const char *label, const RunResults &r)
                     r.traffic.classPackets(TrafficClass::CohProt)));
 }
 
-ProgramDecl
-gatherProgram(bool aliased)
+/** The registered gather workload at one `aliased` setting. */
+ExperimentResult
+runGather(bool aliased)
 {
-    ProgramDecl prog;
-    prog.name = aliased ? "gather-aliased" : "gather-disjoint";
-    prog.seed = 11;
-
-    ArrayDecl x;
-    x.id = 0;
-    x.name = "x";
-    x.bytes = cores * 8 * 1024;
-    x.threadPrivateSection = true;
-    prog.arrays.push_back(x);
-    ArrayDecl y = x;
-    y.id = 1;
-    y.name = "y";
-    prog.arrays.push_back(y);
-    ArrayDecl t;
-    t.id = 2;
-    t.name = "lookup_table";
-    t.bytes = 96 * 1024;
-    prog.arrays.push_back(t);
-
-    KernelDecl k;
-    k.id = 0;
-    k.name = "gather";
-    k.iterations = cores * 1024;
-    k.instrsPerIter = 10;
-    k.codeBytes = 1024;
-    MemRefDecl rx;
-    rx.id = 0;
-    rx.arrayId = 0;
-    rx.pattern = AccessPattern::Strided;
-    k.refs.push_back(rx);
-    MemRefDecl ry = rx;
-    ry.id = 1;
-    ry.arrayId = 1;
-    ry.isWrite = true;
-    k.refs.push_back(ry);
-    MemRefDecl g;
-    g.id = 2;
-    g.arrayId = aliased ? 0u : 2u;  // aliased: gathers from x itself!
-    g.pattern = AccessPattern::PointerChase;
-    g.pointerBased = true;
-    g.hotFraction = 0.5;
-    g.hotBytes = 16 * 1024;
-    k.refs.push_back(g);
-    prog.kernels.push_back(k);
-    return prog;
+    return ExperimentBuilder()
+        .workload("gather")
+        .mode(SystemMode::HybridProto)
+        .cores(cores)
+        .param("aliased", aliased ? 1 : 0)
+        .run();
 }
 
 } // namespace
@@ -97,26 +59,13 @@ gatherProgram(bool aliased)
 int
 main()
 {
-    // Both regimes of the same loop, as named workloads.
-    WorkloadRegistry reg;
-    reg.add("gather-disjoint", [](std::uint32_t, double) {
-        return gatherProgram(false);
-    });
-    reg.add("gather-aliased", [](std::uint32_t, double) {
-        return gatherProgram(true);
-    });
-
-    ExperimentBuilder builder(reg);
-    builder.mode(SystemMode::HybridProto).cores(cores);
-
+    // Both regimes of the same loop, selected by workload parameter.
     // (a) Disjoint data sets: the common case the filter optimizes.
-    const ExperimentResult disjoint =
-        builder.workload("gather-disjoint").run();
+    const ExperimentResult disjoint = runGather(false);
     // (b) The gather target IS the SPM-mapped array: every guarded
     // access may hit a mapping; the compiler (MustAlias) still emits
     // guards and the hardware diverts them.
-    const ExperimentResult aliased =
-        builder.workload("gather-aliased").run();
+    const ExperimentResult aliased = runGather(true);
 
     report("disjoint gather (filters absorb checks)",
            disjoint.results);

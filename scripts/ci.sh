@@ -26,6 +26,24 @@ echo "== result regression check (CG 8-core vs golden) =="
 python3 scripts/diff_results.py "$BUILD_DIR"/smoke8.json \
     tests/golden/cg8_smoke.json
 
+echo "== workload registry smoke (>=10 parameterized workloads) =="
+"$BUILD_DIR"/spmcoh_run --list-workloads \
+    > "$BUILD_DIR"/workloads.txt
+# One unindented line per workload; indented lines are --wparam
+# parameter descriptions.
+WORKLOADS=$(grep -c '^[A-Za-z0-9]' "$BUILD_DIR"/workloads.txt)
+test "$WORKLOADS" -ge 10 || {
+    echo "only $WORKLOADS workloads registered"; exit 1; }
+grep -q -- '--wparam=grids=' "$BUILD_DIR"/workloads.txt
+grep -q -- '--wparam=aliased=' "$BUILD_DIR"/workloads.txt
+
+echo "== result regression check (stencil 8-core vs golden) =="
+"$BUILD_DIR"/spmcoh_run --workload=stencil --cores=8 \
+    --wparam=grids=7 --jobs=2 --format=json --no-stats \
+    > "$BUILD_DIR"/stencil8.json
+python3 scripts/diff_results.py "$BUILD_DIR"/stencil8.json \
+    tests/golden/stencil8_smoke.json
+
 echo "== large-mesh smoke test (256 cores, 16x16) =="
 "$BUILD_DIR"/spmcoh_run --workload=CG --cores=256 --jobs=auto \
     --format=json > "$BUILD_DIR"/smoke256.json

@@ -65,6 +65,11 @@ cliUsage(const std::string &prog)
         "                    must tile a mesh (64, 128, 256, 512,\n"
         "                    1024, ..., up to 4096)\n"
         "  --scale=LIST      workload scale factors (default: 1.0)\n"
+        "  --wparam=K=LIST   workload parameter K (declared surface\n"
+        "                    per workload: --list-workloads); a comma\n"
+        "                    list adds one sweep point per value, and\n"
+        "                    the flag repeats for several parameters\n"
+        "                    (cartesian)\n"
         "\n"
         "variant axes (cartesian with each other):\n"
         "  --filter-entries=LIST  coherence filter capacities; adds\n"
@@ -135,6 +140,8 @@ parseCli(const std::vector<std::string> &args,
     std::vector<std::string> errs;
     std::vector<std::uint32_t> filterEntries;
     std::vector<bool> prefetcher;
+    std::vector<std::pair<std::string, std::vector<double>>>
+        wparamAxes;
     bool sawWorkload = false;
 
     opt.sweep.modes.clear();
@@ -195,6 +202,37 @@ parseCli(const std::vector<std::string> &args,
                 else
                     opt.sweep.scales.push_back(*x);
             }
+        } else if ((v = flagValue(arg, "--wparam"))) {
+            const std::size_t eq = v->find('=');
+            if (eq == std::string::npos || eq == 0) {
+                errs.push_back("bad --wparam '" + *v +
+                               "' (expected key=value[,value...])");
+                continue;
+            }
+            const std::string key = v->substr(0, eq);
+            bool dup = false;
+            for (const auto &axis : wparamAxes)
+                dup = dup || axis.first == key;
+            if (dup) {
+                errs.push_back("--wparam parameter '" + key +
+                               "' given twice");
+                continue;
+            }
+            std::vector<double> values;
+            for (const std::string &s :
+                 splitList(v->substr(eq + 1))) {
+                const auto x = parseDouble(s);
+                if (!x)
+                    errs.push_back("bad --wparam value '" + s +
+                                   "' for '" + key + "'");
+                else
+                    values.push_back(*x);
+            }
+            if (values.empty())
+                errs.push_back("--wparam parameter '" + key +
+                               "' lists no values");
+            else
+                wparamAxes.emplace_back(key, std::move(values));
         } else if ((v = flagValue(arg, "--filter-entries"))) {
             for (const std::string &f : splitList(*v)) {
                 const auto n = parseUint(f);
@@ -261,6 +299,8 @@ parseCli(const std::vector<std::string> &args,
         opt.sweep.coreCounts.push_back(64);
     if (opt.sweep.scales.empty())
         opt.sweep.scales.push_back(1.0);
+    if (!wparamAxes.empty())
+        opt.sweep.paramPoints = expandParamAxes(wparamAxes);
 
     // The variant axes combine cartesianly, mirroring the ablation
     // harnesses' variant naming (filterN, pf-on/pf-off).

@@ -23,8 +23,9 @@ namespace spmcoh
 /** Parsed spmcoh_run invocation. */
 struct CliOptions
 {
-    /** Sweep axes assembled from --workload/--mode/--cores/--scale
-     *  plus the variant axes (--filter-entries, --prefetcher). */
+    /** Sweep axes assembled from --workload/--mode/--cores/--scale,
+     *  the workload-parameter axes (--wparam=key=v1,v2, repeatable)
+     *  and the variant axes (--filter-entries, --prefetcher). */
     SweepSpec sweep;
     ResultFormat format = ResultFormat::Table;
     /** Worker threads; 1 = serial, 0 = hardware parallelism. */

@@ -137,6 +137,8 @@ ExperimentSpec::label() const
     std::snprintf(buf, sizeof(buf), "/%uc/x%.2f", cores, scale);
     std::string out =
         workload + "/" + systemModeName(mode) + buf;
+    if (!wparams.empty())
+        out += "{" + wparams.render() + "}";
     if (!variant.empty())
         out += "+" + variant;
     return out;
@@ -147,11 +149,16 @@ validateExperiment(const ExperimentSpec &spec,
                    const WorkloadRegistry &reg)
 {
     std::vector<std::string> errs;
-    if (spec.workload.empty())
+    if (spec.workload.empty()) {
         errs.push_back("no workload set (use .workload(name))");
-    else if (!reg.contains(spec.workload))
+    } else if (const WorkloadSpec *ws = reg.find(spec.workload)) {
+        for (const std::string &e :
+             ws->validateParams(spec.wparams))
+            errs.push_back(e);
+    } else {
         errs.push_back("unknown workload '" + spec.workload +
                        "'; known workloads: " + reg.namesJoined());
+    }
     const auto cores_err = Topology::checkCores(spec.cores);
     if (cores_err && !spec.paramsOverride)
         errs.push_back(*cores_err);
@@ -214,8 +221,8 @@ runExperiment(const ExperimentSpec &spec, const WorkloadRegistry &reg,
 
     PreparedProgram local;
     if (!prepared) {
-        const ProgramDecl prog =
-            reg.build(spec.workload, spec.cores, spec.scale);
+        const ProgramDecl prog = reg.build(
+            spec.workload, spec.cores, spec.scale, spec.wparams);
         local = prepareProgram(prog, spec.cores,
                                out.params.spmBytes);
         prepared = &local;

@@ -78,6 +78,12 @@ struct ExperimentSpec
     SystemMode mode = SystemMode::HybridProto;
     std::uint32_t cores = 64;
     double scale = 1.0;
+    /**
+     * Workload parameters, validated against the workload's spec
+     * (unknown keys and out-of-range values are rejected); empty
+     * entries take the spec's defaults.
+     */
+    WorkloadParams wparams;
     /** Label for a parameter variant in sweeps ("" = baseline). */
     std::string variant;
     /**
@@ -97,7 +103,7 @@ struct ExperimentSpec
      */
     SystemParams resolvedParams() const;
 
-    /** "CG/hybrid-proto/64c/x1.00[+variant]" display label. */
+    /** "CG/hybrid-proto/64c/x1.00[{params}][+variant]" label. */
     std::string label() const;
 };
 
@@ -173,6 +179,22 @@ class ExperimentBuilder
     scale(double x)
     {
         s.scale = x;
+        return *this;
+    }
+
+    /** Set one workload parameter (validated against the spec). */
+    ExperimentBuilder &
+    param(const std::string &name, double value)
+    {
+        s.wparams.set(name, value);
+        return *this;
+    }
+
+    /** Replace the whole workload parameter assignment. */
+    ExperimentBuilder &
+    workloadParams(const WorkloadParams &p)
+    {
+        s.wparams = p;
         return *this;
     }
 

@@ -97,7 +97,7 @@ class CsvSink final : public ResultSink
     {
         if (!title.empty())
             os << "# " << title << '\n';
-        os << "workload,mode,cores,scale,variant,cycles,"
+        os << "workload,mode,cores,scale,wparams,variant,cycles,"
               "controlCycles,syncCycles,workCycles";
         for (std::size_t c = 0; c < numTrafficClasses; ++c)
             os << ',' << trafficClassName(
@@ -115,10 +115,16 @@ class CsvSink final : public ResultSink
     add(const ExperimentResult &r) override
     {
         const RunResults &rr = r.results;
+        // The k=v pairs are ';'-separated in CSV ("grids=7;hotKB=16")
+        // so the cell never splits the row.
+        std::string wp = r.spec.wparams.render();
+        for (char &c : wp)
+            if (c == ',')
+                c = ';';
         os << r.spec.workload << ','
            << systemModeName(r.spec.mode) << ','
            << r.spec.cores << ',' << r.spec.scale << ','
-           << r.spec.variant << ',' << rr.cycles << ','
+           << wp << ',' << r.spec.variant << ',' << rr.cycles << ','
            << rr.phaseCycles[0] << ',' << rr.phaseCycles[1] << ','
            << rr.phaseCycles[2];
         for (std::size_t c = 0; c < numTrafficClasses; ++c)
@@ -179,6 +185,10 @@ class JsonSink final : public ResultSink
         w.key("mode").value(systemModeName(r.spec.mode));
         w.key("cores").value(r.spec.cores);
         w.key("scale").value(r.spec.scale);
+        w.key("wparams").beginObject();
+        for (const auto &kv : r.spec.wparams.all())
+            w.key(kv.first).value(kv.second);
+        w.endObject();
         w.key("variant").value(r.spec.variant);
         w.key("label").value(r.spec.label());
         w.endObject();

@@ -12,6 +12,35 @@
 namespace spmcoh
 {
 
+std::vector<WorkloadParams>
+expandParamAxes(
+    const std::vector<std::pair<std::string, std::vector<double>>>
+        &axes)
+{
+    std::vector<WorkloadParams> points;
+    for (const auto &[name, values] : axes) {
+        if (name.empty())
+            fatal("expandParamAxes: parameter name must not be "
+                  "empty");
+        if (values.empty())
+            fatal("expandParamAxes: parameter '" + name +
+                  "' lists no values");
+        if (points.empty())
+            points.push_back(WorkloadParams{});
+        for (const WorkloadParams &p : points)
+            if (p.has(name))
+                fatal("expandParamAxes: parameter '" + name +
+                      "' given twice");
+        std::vector<WorkloadParams> next;
+        next.reserve(points.size() * values.size());
+        for (const WorkloadParams &p : points)
+            for (double v : values)
+                next.push_back(WorkloadParams(p).set(name, v));
+        points = std::move(next);
+    }
+    return points;
+}
+
 std::vector<ExperimentSpec>
 SweepRunner::expand(const SweepSpec &sweep) const
 {
@@ -24,6 +53,9 @@ SweepRunner::expand(const SweepSpec &sweep) const
     std::vector<SweepVariant> variants = sweep.variants;
     if (variants.empty())
         variants.push_back(SweepVariant{"", nullptr});
+    std::vector<WorkloadParams> ppoints = sweep.paramPoints;
+    if (ppoints.empty())
+        ppoints.push_back(WorkloadParams{});
 
     std::vector<ExperimentSpec> specs;
     std::vector<std::string> errs;
@@ -31,12 +63,14 @@ SweepRunner::expand(const SweepSpec &sweep) const
         for (SystemMode m : sweep.modes) {
             for (std::uint32_t c : sweep.coreCounts) {
                 for (double s : sweep.scales) {
+                  for (const WorkloadParams &wp : ppoints) {
                     for (const SweepVariant &v : variants) {
                         ExperimentSpec e;
                         e.workload = w;
                         e.mode = m;
                         e.cores = c;
                         e.scale = s;
+                        e.wparams = wp;
                         e.variant = v.name;
                         // Validate before resolving: the tweak
                         // needs resolvedParams, which derives a
@@ -54,6 +88,7 @@ SweepRunner::expand(const SweepSpec &sweep) const
                             errs.push_back(e.label() + ": " + err);
                         specs.push_back(std::move(e));
                     }
+                  }
                 }
             }
         }
@@ -72,17 +107,21 @@ SweepRunner::prepared(const ExperimentSpec &spec)
 {
     const SystemParams p = spec.resolvedParams();
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "|%u|%.17g|%u", spec.cores,
+    std::snprintf(buf, sizeof(buf), "|%u|%.17g|%u|", spec.cores,
                   spec.scale, p.spmBytes);
-    const std::string key = spec.workload + buf;
+    // Key on the spec-resolved assignment, not the caller's: a point
+    // that spells out a default value compiles the same program as
+    // one that omits it, and must share the cache entry.
+    const std::string key = spec.workload + buf +
+        reg->spec(spec.workload).resolve(spec.wparams).render();
     auto it = cache.find(key);
     if (it != cache.end()) {
         ++cstats.hits;
         return *it->second;
     }
     ++cstats.compiles;
-    const ProgramDecl prog =
-        reg->build(spec.workload, spec.cores, spec.scale);
+    const ProgramDecl prog = reg->build(spec.workload, spec.cores,
+                                        spec.scale, spec.wparams);
     auto pp = std::make_unique<PreparedProgram>(
         prepareProgram(prog, spec.cores, p.spmBytes));
     return *cache.emplace(key, std::move(pp)).first->second;

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/Experiment.hh"
@@ -34,7 +35,8 @@ struct SweepVariant
 /**
  * Axes of a cartesian sweep. workloads must be non-empty; so must
  * modes/coreCounts/scales (they start with one default point).
- * Only an empty variants axis defaults to a single baseline point.
+ * Empty paramPoints/variants axes default to a single baseline
+ * point (spec-default parameters / no tweak).
  */
 struct SweepSpec
 {
@@ -42,9 +44,22 @@ struct SweepSpec
     std::vector<SystemMode> modes{SystemMode::HybridProto};
     std::vector<std::uint32_t> coreCounts{64};
     std::vector<double> scales{1.0};
+    /** Workload-parameter points; empty = spec defaults only. */
+    std::vector<WorkloadParams> paramPoints;
     /** Empty = single un-tweaked baseline point. */
     std::vector<SweepVariant> variants;
 };
+
+/**
+ * Expand named value lists ({"grids", {3, 5}}, {"hotKB", {8, 16}})
+ * into their cartesian product of WorkloadParams points, first axis
+ * outermost (later axes vary fastest). Empty input gives an empty
+ * vector (= sweep at spec defaults); an axis with no values is
+ * fatal, as is a repeated name.
+ */
+std::vector<WorkloadParams> expandParamAxes(
+    const std::vector<std::pair<std::string, std::vector<double>>>
+        &axes);
 
 /**
  * Runs batches of independent jobs.
@@ -112,9 +127,10 @@ class SweepRunner
 
     /**
      * Expand the cartesian product of @p sweep into validated
-     * specs, ordered workload-major (modes, cores, scales, variants
-     * vary fastest, in that nesting order). Fatal listing every
-     * validation problem when any point is invalid.
+     * specs, ordered workload-major (modes, cores, scales, workload
+     * parameters, variants vary fastest, in that nesting order).
+     * Fatal listing every validation problem when any point is
+     * invalid.
      */
     std::vector<ExperimentSpec> expand(const SweepSpec &sweep) const;
 

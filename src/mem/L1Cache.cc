@@ -23,7 +23,9 @@ L1Cache::L1Cache(MemNet &net_, CoreId core_, bool icache_,
       mshr(p_.mshrs),
       prefetcher(icache_ ? PrefetcherParams{.enabled = false}
                          : p_.prefetcher),
-      stats(name)
+      stats(name),
+      mshrOccupancy(stats.histogram("mshrOccupancy",
+                                    {1, 2, 4, 8, 16, 24, 32, 48}))
 {
 }
 
@@ -141,6 +143,7 @@ L1Cache::startAccess(Addr addr, std::uint8_t size, bool is_write,
     }
     ++stats.counter("misses");
     MshrEntry &e = mshr.alloc(la);
+    sampleMshrOccupancy();
     e.wantExclusive = is_write;
     e.isPrefetch = false;
     e.issued = true;
@@ -176,6 +179,7 @@ L1Cache::issuePrefetch(Addr line_addr)
     if (mshr.full() || prefetchesInFlight >= p.maxPrefetchInFlight)
         return;
     MshrEntry &e = mshr.alloc(line_addr);
+    sampleMshrOccupancy();
     e.isPrefetch = true;
     e.issued = true;
     ++prefetchesInFlight;
@@ -275,6 +279,7 @@ void
 L1Cache::processTargets(Addr line_addr)
 {
     MshrEntry e = mshr.release(line_addr);
+    sampleMshrOccupancy();
     Line *line = array.lookup(line_addr);
     if (!line)
         panic("L1Cache: lost line while draining targets");
@@ -287,6 +292,7 @@ L1Cache::processTargets(Addr line_addr)
                 // Need write permission: re-issue as an upgrade and
                 // keep the remaining targets buffered.
                 MshrEntry &ne = mshr.alloc(line_addr);
+                sampleMshrOccupancy();
                 ne.wantExclusive = true;
                 ne.isPrefetch = false;
                 ne.issued = true;

@@ -158,6 +158,8 @@ class L1Cache
                    bool dirty = false, bool is_prefetch = false);
     void trainPrefetcher(std::uint32_t ref_id, Addr addr, Tick at);
     void notifyMshrFree();
+    /** Record the post-transition MSHR file occupancy. */
+    void sampleMshrOccupancy() { mshrOccupancy.sample(mshr.used()); }
 
     MemNet &net;
     CoreId core;
@@ -170,6 +172,11 @@ class L1Cache
     std::uint32_t prefetchesInFlight = 0;
     std::function<void()> mshrFreeCb;
     StatGroup stats;
+    /**
+     * MSHR file occupancy distribution, sampled after every
+     * allocate and release (ROADMAP histogram-coverage item).
+     */
+    Histogram &mshrOccupancy;
 };
 
 } // namespace spmcoh

@@ -40,9 +40,19 @@ main(int argc, char **argv)
             return 0;
         }
         if (opt.listWorkloads) {
-            for (const std::string &w :
-                 WorkloadRegistry::global().names())
-                std::printf("%s\n", w.c_str());
+            const WorkloadRegistry &reg = WorkloadRegistry::global();
+            for (const std::string &w : reg.names()) {
+                const WorkloadSpec &s = reg.spec(w);
+                std::printf("%s%s%s\n", w.c_str(),
+                            s.description.empty() ? "" : " - ",
+                            s.description.c_str());
+                for (const ParamSpec &p : s.params)
+                    std::printf(
+                        "  --wparam=%s=V  %s (default %g, "
+                        "range [%g, %g])\n",
+                        p.name.c_str(), p.description.c_str(),
+                        p.def, p.min, p.max);
+            }
             return 0;
         }
 

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Kernel workload construction and registration.
+ */
+
+#include "workloads/Kernels.hh"
+
+#include "workloads/ProgramBuilder.hh"
+
+namespace spmcoh
+{
+
+namespace
+{
+
+std::uint64_t
+kb(const WorkloadParams &p, const char *key)
+{
+    return p.getUInt(key) * 1024;
+}
+
+} // namespace
+
+ProgramDecl
+buildStencil(std::uint32_t cores, double scale,
+             const WorkloadParams &p)
+{
+    const auto grids =
+        static_cast<std::uint32_t>(p.getUInt("grids"));
+    ProgramBuilder b("stencil", cores, 7);
+    // `grids` streamed grids (all read, the last one written): the
+    // per-core footprint exceeds the baseline's L1, so the grids
+    // stream -- the regime stencils live in.
+    const std::uint64_t section =
+        spmSectionBytes(grids, kb(p, "sectionKB"), scale);
+    KernelBuilder k = b.kernel("stencil" + std::to_string(grids),
+                               cores * (section / 8), 18, 2048);
+    for (std::uint32_t g = 0; g < grids; ++g)
+        k.strided(b.privateArray("grid" + std::to_string(g), section),
+                  g == grids - 1);
+    b.timesteps(2);
+    return b.build();
+}
+
+ProgramDecl
+buildGather(std::uint32_t cores, double scale,
+            const WorkloadParams &p)
+{
+    ProgramBuilder b("gather", cores, 11);
+    // CG-like sparse gather: two streamed vectors plus one
+    // pointer-based lookup. With aliased=1 the lookup targets the
+    // SPM-mapped stream itself, so every guarded access may hit a
+    // live mapping (the Fig. 5b/5d diversion paths); with aliased=0
+    // the data sets are disjoint and the filters absorb the checks.
+    const std::uint64_t section = spmSectionBytes(2, 8 * 1024, scale);
+    const std::uint32_t x = b.privateArray("x", section);
+    const std::uint32_t y = b.privateArray("y", section);
+    const std::uint32_t table =
+        b.sharedArray("lookup_table", kb(p, "tableKB"));
+    b.kernel("gather", cores * (section / 8), 10, 1024)
+        .strided(x)
+        .strided(y, true)
+        .pointerChase(p.getUInt("aliased") ? x : table, false,
+                      p.get("hotFrac"), kb(p, "hotKB"));
+    return b.build();
+}
+
+ProgramDecl
+buildPointerChase(std::uint32_t cores, double scale,
+                  const WorkloadParams &p)
+{
+    ProgramBuilder b("pchase", cores, 0xC5);
+    // Linked-structure traversal: a thin streamed index plus
+    // `chases` pointer dereferences per iteration into a shared
+    // pool -- the guarded-access-dominated regime where the filter
+    // hit ratio decides everything.
+    const std::uint64_t section = spmSectionBytes(1, 8 * 1024, scale);
+    const std::uint32_t idx = b.privateArray("idx", section);
+    const std::uint32_t pool =
+        b.sharedArray("pool", kb(p, "poolKB"));
+    b.kernel("chase", cores * (section / 8), 8, 1024)
+        .strided(idx)
+        .pointerChase(pool, false, p.get("hotFrac"), kb(p, "hotKB"),
+                      static_cast<std::uint32_t>(
+                          p.getUInt("chases")));
+    b.timesteps(2);
+    return b.build();
+}
+
+ProgramDecl
+buildReduction(std::uint32_t cores, double scale,
+               const WorkloadParams &p)
+{
+    const auto streams =
+        static_cast<std::uint32_t>(p.getUInt("streams"));
+    ProgramBuilder b("reduction", cores, 0x4D);
+    // IS-like: streamed inputs folded into a small shared bin array
+    // through guarded read-modify-writes whose aliasing the compiler
+    // cannot resolve (accumulation through pointers).
+    const std::uint64_t section =
+        spmSectionBytes(streams, 8 * 1024, scale);
+    const std::uint64_t bins_bytes = kb(p, "binsKB");
+    KernelBuilder k =
+        b.kernel("reduce", cores * (section / 8), 12, 1536);
+    for (std::uint32_t s = 0; s < streams; ++s)
+        k.strided(b.privateArray("in" + std::to_string(s), section));
+    const std::uint32_t bins = b.sharedArray("bins", bins_bytes);
+    k.pointerChase(bins, false, p.get("hotFrac"), bins_bytes);
+    k.pointerChase(bins, true, p.get("hotFrac"), bins_bytes);
+    b.timesteps(2);
+    return b.build();
+}
+
+ProgramDecl
+buildTranspose(std::uint32_t cores, double scale,
+               const WorkloadParams &p)
+{
+    ProgramBuilder b("transpose", cores, 0x7A);
+    // Tile transpose: strided reads of the source, writes scattered
+    // through a statically known index array -- the alias analysis
+    // proves the scatter disjoint from the SPM mappings, so it stays
+    // a plain (unguarded) GM access: the Sec. 2.4 middle class.
+    const std::uint64_t section =
+        spmSectionBytes(1, kb(p, "tileKB"), scale);
+    const std::uint32_t src = b.privateArray("src", section);
+    const std::uint32_t dst =
+        b.sharedArray("dst", std::uint64_t(cores) * section);
+    b.kernel("transpose", cores * (section / 8), 6, 1024)
+        .strided(src)
+        .indirect(dst, true, 1.0, kb(p, "hotKB"));
+    b.timesteps(2);
+    return b.build();
+}
+
+void
+registerKernelWorkloads(WorkloadRegistry &reg)
+{
+    const auto uint_param = [](const char *name, const char *desc,
+                               double def, double min, double max) {
+        return ParamSpec{name, desc, ParamType::UInt, def, min, max};
+    };
+    const auto real_param = [](const char *name, const char *desc,
+                               double def, double min, double max) {
+        return ParamSpec{name, desc, ParamType::Real, def, min, max};
+    };
+
+    {
+        WorkloadSpec s;
+        s.name = "stencil";
+        s.description =
+            "streamed multi-grid stencil tiled through the SPMs";
+        s.params = {
+            uint_param("grids",
+                       "streamed grids (the last one is written)",
+                       7, 1, 30),
+            uint_param("sectionKB", "per-thread section per grid, KB",
+                       16, 1, 256),
+        };
+        s.factory = buildStencil;
+        reg.add(std::move(s));
+    }
+    {
+        WorkloadSpec s;
+        s.name = "gather";
+        s.description =
+            "sparse gather with a guarded lookup (CG-like)";
+        s.params = {
+            uint_param("aliased",
+                       "1: the lookup aliases the SPM-mapped stream",
+                       0, 0, 1),
+            real_param("hotFrac", "fraction of lookups in the hot set",
+                       0.5, 0, 1),
+            uint_param("hotKB", "hot-set size, KB", 16, 1, 1024),
+            uint_param("tableKB", "lookup table size, KB",
+                       96, 1, 4096),
+        };
+        s.factory = buildGather;
+        reg.add(std::move(s));
+    }
+    {
+        WorkloadSpec s;
+        s.name = "pchase";
+        s.description =
+            "pointer chasing over a shared pool (guarded-dominated)";
+        s.params = {
+            uint_param("poolKB", "shared pool size, KB",
+                       256, 1, 16384),
+            real_param("hotFrac", "fraction of chases in the hot set",
+                       0.9, 0, 1),
+            uint_param("hotKB", "hot-set size, KB", 32, 1, 4096),
+            uint_param("chases", "pointer dereferences per iteration",
+                       2, 1, 8),
+        };
+        s.factory = buildPointerChase;
+        reg.add(std::move(s));
+    }
+    {
+        WorkloadSpec s;
+        s.name = "reduction";
+        s.description =
+            "streamed inputs reduced into shared bins via guarded "
+            "updates";
+        s.params = {
+            uint_param("streams", "streamed input arrays",
+                       4, 1, 16),
+            uint_param("binsKB", "shared bin array size, KB",
+                       4, 1, 512),
+            real_param("hotFrac", "fraction of updates in the hot set",
+                       0.95, 0, 1),
+        };
+        s.factory = buildReduction;
+        reg.add(std::move(s));
+    }
+    {
+        WorkloadSpec s;
+        s.name = "transpose";
+        s.description =
+            "strided reads scattered through a proven-safe index "
+            "(plain GM writes)";
+        s.params = {
+            uint_param("tileKB", "per-thread source tile, KB",
+                       8, 1, 64),
+            uint_param("hotKB", "scatter hot-set size, KB",
+                       64, 1, 4096),
+        };
+        s.factory = buildTranspose;
+        reg.add(std::move(s));
+    }
+}
+
+} // namespace spmcoh

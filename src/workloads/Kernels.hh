@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parameterized kernel workloads beyond the NAS models: the access
+ * patterns the paper's Sec. 2.2/2.4 taxonomy spans, each exposed as
+ * a registered WorkloadSpec so the driver stack (ExperimentBuilder,
+ * SweepRunner, spmcoh_run --wparam) can sweep their structure:
+ *
+ *  - stencil:   streamed grids tiled through the SPMs (pure SPM)
+ *  - gather:    CG-like sparse gather with a guarded lookup whose
+ *               target can be aliased onto the SPM-mapped stream
+ *  - pchase:    pointer chasing over a shared pool (guarded-access
+ *               dominated)
+ *  - reduction: streamed inputs accumulated into small shared bins
+ *               through guarded read-modify-writes (IS-like)
+ *  - transpose: strided reads scattered through an index array the
+ *               alias analysis proves safe (plain GM accesses)
+ */
+
+#ifndef SPMCOH_WORKLOADS_KERNELS_HH
+#define SPMCOH_WORKLOADS_KERNELS_HH
+
+#include "driver/WorkloadRegistry.hh"
+
+namespace spmcoh
+{
+
+/** Streamed multi-grid stencil (grids, sectionKB). */
+ProgramDecl buildStencil(std::uint32_t cores, double scale,
+                         const WorkloadParams &p);
+
+/** Sparse gather (aliased, hotFrac, hotKB, tableKB). */
+ProgramDecl buildGather(std::uint32_t cores, double scale,
+                        const WorkloadParams &p);
+
+/** Pointer chase (poolKB, hotFrac, hotKB, chases). */
+ProgramDecl buildPointerChase(std::uint32_t cores, double scale,
+                              const WorkloadParams &p);
+
+/** Guarded reduction (streams, binsKB, hotFrac). */
+ProgramDecl buildReduction(std::uint32_t cores, double scale,
+                           const WorkloadParams &p);
+
+/** Scatter transpose (tileKB, hotKB). */
+ProgramDecl buildTranspose(std::uint32_t cores, double scale,
+                           const WorkloadParams &p);
+
+/**
+ * Register the five kernel workloads above into @p reg (done for
+ * WorkloadRegistry::global() at startup).
+ */
+void registerKernelWorkloads(WorkloadRegistry &reg);
+
+} // namespace spmcoh
+
+#endif // SPMCOH_WORKLOADS_KERNELS_HH

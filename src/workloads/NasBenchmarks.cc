@@ -1,12 +1,13 @@
 /**
  * @file
- * NAS benchmark model construction.
+ * NAS benchmark model construction, on the public ProgramBuilder.
  */
 
 #include "workloads/NasBenchmarks.hh"
 
 #include "sim/Logging.hh"
 #include "sim/Types.hh"
+#include "workloads/ProgramBuilder.hh"
 
 namespace spmcoh
 {
@@ -14,324 +15,177 @@ namespace spmcoh
 namespace
 {
 
-constexpr std::uint32_t spmBytesDefault = 32 * 1024;
-
-std::uint64_t
-pow2Floor(std::uint64_t v)
-{
-    std::uint64_t p = 1;
-    while (p * 2 <= v)
-        p *= 2;
-    return p;
-}
-
-/**
- * Per-thread section size: an exact number of SPM buffers, so the
- * tiling divides evenly for any scale.
- */
-std::uint64_t
-sectionFor(std::uint32_t spm_refs, std::uint64_t target,
-           double scale)
-{
-    std::uint64_t t =
-        static_cast<std::uint64_t>(double(target) * scale);
-    if (t < lineBytes)
-        t = lineBytes;
-    std::uint64_t buf = pow2Floor(spmBytesDefault / spm_refs);
-    if (buf > pow2Floor(t))
-        buf = pow2Floor(t);
-    std::uint64_t chunks = t / buf;
-    if (chunks == 0)
-        chunks = 1;
-    return chunks * buf;
-}
-
-/** Incremental ProgramDecl builder. */
-struct Builder
-{
-    ProgramDecl prog;
-    std::uint32_t cores;
-    std::uint32_t nextArray = 0;
-    std::uint32_t nextRef = 0;
-
-    Builder(std::string name, std::uint32_t cores_, std::uint64_t seed)
-        : cores(cores_)
-    {
-        prog.name = std::move(name);
-        prog.seed = seed;
-    }
-
-    std::uint32_t
-    privateArray(const std::string &n, std::uint64_t section_bytes)
-    {
-        ArrayDecl a;
-        a.id = nextArray++;
-        a.name = n;
-        a.bytes = section_bytes * cores;
-        a.threadPrivateSection = true;
-        prog.arrays.push_back(a);
-        return a.id;
-    }
-
-    std::uint32_t
-    sharedArray(const std::string &n, std::uint64_t bytes)
-    {
-        ArrayDecl a;
-        a.id = nextArray++;
-        a.name = n;
-        a.bytes = divCeil(bytes, lineBytes) * lineBytes;
-        a.threadPrivateSection = false;
-        prog.arrays.push_back(a);
-        return a.id;
-    }
-
-    KernelDecl &
-    kernel(const std::string &n, std::uint64_t iterations,
-           std::uint32_t instrs, std::uint32_t code_bytes)
-    {
-        KernelDecl k;
-        k.id = static_cast<std::uint32_t>(prog.kernels.size());
-        k.name = n;
-        k.iterations = iterations;
-        k.instrsPerIter = instrs;
-        k.codeBytes = code_bytes;
-        prog.kernels.push_back(k);
-        return prog.kernels.back();
-    }
-
-    void
-    spmRef(KernelDecl &k, std::uint32_t array, bool write)
-    {
-        MemRefDecl r;
-        r.id = nextRef++;
-        r.arrayId = array;
-        r.pattern = AccessPattern::Strided;
-        r.strideBytes = 8;
-        r.isWrite = write;
-        k.refs.push_back(r);
-    }
-
-    void
-    guardedRef(KernelDecl &k, std::uint32_t array, bool write,
-               double hot_frac, std::uint64_t hot_bytes,
-               std::uint32_t per_iter = 1)
-    {
-        MemRefDecl r;
-        r.id = nextRef++;
-        r.arrayId = array;
-        r.pattern = AccessPattern::PointerChase;
-        r.pointerBased = true;
-        r.isWrite = write;
-        r.hotFraction = hot_frac;
-        r.hotBytes = hot_bytes;
-        r.accessesPerIter = per_iter;
-        k.refs.push_back(r);
-    }
-
-    void
-    gmRandomRef(KernelDecl &k, std::uint32_t array, bool write,
-                double hot_frac, std::uint64_t hot_bytes,
-                std::uint32_t per_iter = 1)
-    {
-        MemRefDecl r;
-        r.id = nextRef++;
-        r.arrayId = array;
-        r.pattern = AccessPattern::Indirect;
-        r.pointerBased = false;  // alias analysis succeeds (Sec. 2.4)
-        r.isWrite = write;
-        r.hotFraction = hot_frac;
-        r.hotBytes = hot_bytes;
-        r.accessesPerIter = per_iter;
-        k.refs.push_back(r);
-    }
-
-    void
-    stackRef(KernelDecl &k, std::uint32_t array, bool write,
-             std::uint32_t per_iter)
-    {
-        MemRefDecl r;
-        r.id = nextRef++;
-        r.arrayId = array;
-        r.pattern = AccessPattern::Stack;
-        r.isWrite = write;
-        r.accessesPerIter = per_iter;
-        k.refs.push_back(r);
-    }
-};
-
 ProgramDecl
 buildCG(std::uint32_t cores, double scale)
 {
-    Builder b("CG", cores, 0xC6);
+    ProgramBuilder b("CG", cores, 0xC6);
     // Sparse mat-vec: five streaming vectors plus one pointer-based
     // gather into x whose aliasing GCC cannot resolve.
-    const std::uint64_t section = sectionFor(5, 16 * 1024, scale);
+    const std::uint64_t section = spmSectionBytes(5, 16 * 1024, scale);
     const std::uint64_t iters = cores * (section / 8);
-    std::uint32_t v[5];
-    v[0] = b.privateArray("colidx", section);
-    v[1] = b.privateArray("a", section);
-    v[2] = b.privateArray("p", section);
-    v[3] = b.privateArray("q", section);
-    v[4] = b.privateArray("z", section);
+    const std::uint32_t colidx = b.privateArray("colidx", section);
+    const std::uint32_t a = b.privateArray("a", section);
+    const std::uint32_t p = b.privateArray("p", section);
+    const std::uint32_t q = b.privateArray("q", section);
+    const std::uint32_t z = b.privateArray("z", section);
     const std::uint32_t x = b.sharedArray("x", 128 * 1024);
-    KernelDecl &k = b.kernel("conj_grad", iters, 14, 1536);
-    b.spmRef(k, v[0], false);
-    b.spmRef(k, v[1], false);
-    b.spmRef(k, v[2], false);
-    b.spmRef(k, v[3], false);
-    b.spmRef(k, v[4], true);
-    b.guardedRef(k, x, false, 0.85, 16 * 1024, 1);
-    b.prog.timesteps = 2;
-    return b.prog;
+    b.kernel("conj_grad", iters, 14, 1536)
+        .strided(colidx)
+        .strided(a)
+        .strided(p)
+        .strided(q)
+        .strided(z, true)
+        .pointerChase(x, false, 0.85, 16 * 1024, 1);
+    b.timesteps(2);
+    return b.build();
 }
 
 ProgramDecl
 buildEP(std::uint32_t cores, double scale)
 {
-    Builder b("EP", cores, 0xE9);
+    ProgramBuilder b("EP", cores, 0xE9);
     // Embarrassingly parallel RNG: tiny data set, register spilling
     // makes the stack the dominant access target (Sec. 5.2).
-    const std::uint64_t s1 = sectionFor(2, 8 * 1024, scale);
-    const std::uint64_t s2 = sectionFor(1, 8 * 1024, scale);
+    const std::uint64_t s1 = spmSectionBytes(2, 8 * 1024, scale);
+    const std::uint64_t s2 = spmSectionBytes(1, 8 * 1024, scale);
     const std::uint32_t xs = b.privateArray("x", s1);
     const std::uint32_t qs = b.privateArray("qpart", s1);
     const std::uint32_t stack = b.sharedArray("stack", 4096);
     const std::uint32_t q = b.sharedArray("q", 256 * 1024);
 
-    KernelDecl &k1 = b.kernel("vranlc", cores * (s1 / 8), 35, 2048);
-    b.spmRef(k1, xs, false);
-    b.spmRef(k1, qs, true);
-    b.stackRef(k1, stack, false, 4);
-    b.stackRef(k1, stack, true, 2);
-    b.guardedRef(k1, q, false, 0.9, 8 * 1024, 1);
+    b.kernel("vranlc", cores * (s1 / 8), 35, 2048)
+        .strided(xs)
+        .strided(qs, true)
+        .stack(stack, false, 4)
+        .stack(stack, true, 2)
+        .pointerChase(q, false, 0.9, 8 * 1024, 1);
 
     // Table 2: EP has exactly one (static) guarded reference; the
     // second kernel is stack + strided only.
-    KernelDecl &k2 = b.kernel("gauss", cores * (s2 / 8), 40, 2048);
-    b.spmRef(k2, xs, false);
-    b.stackRef(k2, stack, false, 4);
-    b.stackRef(k2, stack, true, 2);
-    b.prog.timesteps = 2;
-    return b.prog;
+    b.kernel("gauss", cores * (s2 / 8), 40, 2048)
+        .strided(xs)
+        .stack(stack, false, 4)
+        .stack(stack, true, 2);
+    b.timesteps(2);
+    return b.build();
 }
 
 ProgramDecl
 buildFT(std::uint32_t cores, double scale)
 {
-    Builder b("FT", cores, 0xF7);
+    ProgramBuilder b("FT", cores, 0xF7);
     // 3D FFT: five transform kernels, 32 streaming references over
     // big arrays, four guarded accesses into a small exponent table.
     const std::uint32_t refs_per[5] = {6, 6, 6, 7, 7};
     const std::uint32_t guarded_in[5] = {0, 1, 1, 1, 1};
     const std::uint32_t ex = b.sharedArray("ex", 256 * 1024);
-    b.prog.timesteps = 2;
+    b.timesteps(2);
     for (std::uint32_t ki = 0; ki < 5; ++ki) {
         const std::uint32_t nrefs = refs_per[ki];
         const std::uint64_t section =
-            sectionFor(nrefs, 4 * 1024, scale);
-        KernelDecl &k = b.kernel("fft" + std::to_string(ki),
-                                 cores * (section / 8), 22, 3072);
+            spmSectionBytes(nrefs, 4 * 1024, scale);
+        KernelBuilder k = b.kernel("fft" + std::to_string(ki),
+                                   cores * (section / 8), 22, 3072);
         for (std::uint32_t r = 0; r < nrefs; ++r) {
             const std::uint32_t a = b.privateArray(
                 "u" + std::to_string(ki) + "_" + std::to_string(r),
                 section);
-            b.spmRef(k, a, r >= nrefs - 2);  // last two are writes
+            k.strided(a, r >= nrefs - 2);  // last two are writes
         }
         if (guarded_in[ki]) {
-            b.guardedRef(k, ex, ki == 4, 0.95, 32 * 1024, 1);
+            k.pointerChase(ex, ki == 4, 0.95, 32 * 1024, 1);
         }
     }
-    return b.prog;
+    return b.build();
 }
 
 ProgramDecl
 buildIS(std::uint32_t cores, double scale)
 {
-    Builder b("IS", cores, 0x15);
+    ProgramBuilder b("IS", cores, 0x15);
     // Integer sort: streaming keys, guarded histogram updates whose
     // bucket array aliasing is unknown (key_buff pointers).
     // 3 x 32KB per-core sections: IS streams its keys through the
     // NUCA instead of parking them in the 64KB L1 (Class A behaviour).
-    const std::uint64_t section = sectionFor(3, 32 * 1024, scale);
+    const std::uint64_t section = spmSectionBytes(3, 32 * 1024, scale);
     const std::uint64_t iters = cores * (section / 8);
     const std::uint32_t key = b.privateArray("key", section);
     const std::uint32_t key2 = b.privateArray("key2", section);
     const std::uint32_t rank = b.privateArray("rank", section);
     const std::uint32_t buckets = b.sharedArray("buckets", 512 * 1024);
-    KernelDecl &k = b.kernel("rank", iters, 10, 1024);
-    b.spmRef(k, key, false);
-    b.spmRef(k, key2, false);
-    b.spmRef(k, rank, true);
-    // Hot bucket set comparable to the L1: in the cache-based system
-    // the streams' fills and prefetches keep evicting it, while the
-    // hybrid system leaves the whole L1 to the guarded data
-    // (Sec. 5.4's temporal-locality argument for IS).
-    b.guardedRef(k, buckets, false, 0.80, 48 * 1024, 1);
-    // Stores stay thread-biased (NAS-OMP IS accumulates into
-    // per-thread work buckets before merging); foreign-window write
-    // sharing would otherwise drown the run in invalidation traffic.
-    b.guardedRef(k, buckets, true, 0.92, 48 * 1024, 1);
-    b.prog.timesteps = 3;
-    return b.prog;
+    b.kernel("rank", iters, 10, 1024)
+        .strided(key)
+        .strided(key2)
+        .strided(rank, true)
+        // Hot bucket set comparable to the L1: in the cache-based
+        // system the streams' fills and prefetches keep evicting it,
+        // while the hybrid system leaves the whole L1 to the guarded
+        // data (Sec. 5.4's temporal-locality argument for IS).
+        .pointerChase(buckets, false, 0.80, 48 * 1024, 1)
+        // Stores stay thread-biased (NAS-OMP IS accumulates into
+        // per-thread work buckets before merging); foreign-window
+        // write sharing would otherwise drown the run in
+        // invalidation traffic.
+        .pointerChase(buckets, true, 0.92, 48 * 1024, 1);
+    b.timesteps(3);
+    return b.build();
 }
 
 ProgramDecl
 buildMG(std::uint32_t cores, double scale)
 {
-    Builder b("MG", cores, 0x36);
+    ProgramBuilder b("MG", cores, 0x36);
     // Multigrid: three stencil kernels with ~20 streaming references
     // each; six guarded accesses touch a tiny boundary descriptor.
     const std::uint32_t refs_per[3] = {20, 20, 19};
     const std::uint32_t bnd = b.sharedArray("bnd", 64);
-    b.prog.timesteps = 2;
+    b.timesteps(2);
     for (std::uint32_t ki = 0; ki < 3; ++ki) {
         const std::uint32_t nrefs = refs_per[ki];
         const std::uint64_t section =
-            sectionFor(nrefs, 2 * 1024, scale);
-        KernelDecl &k = b.kernel("mg" + std::to_string(ki),
-                                 cores * (section / 8), 25, 2560);
+            spmSectionBytes(nrefs, 2 * 1024, scale);
+        KernelBuilder k = b.kernel("mg" + std::to_string(ki),
+                                   cores * (section / 8), 25, 2560);
         for (std::uint32_t r = 0; r < nrefs; ++r) {
             const std::uint32_t a = b.privateArray(
                 "g" + std::to_string(ki) + "_" + std::to_string(r),
                 section);
-            b.spmRef(k, a, r % 3 == 2);
+            k.strided(a, r % 3 == 2);
         }
-        b.guardedRef(k, bnd, false, 1.0, 64, 1);
-        b.guardedRef(k, bnd, false, 1.0, 64, 1);
+        k.pointerChase(bnd, false, 1.0, 64, 1);
+        k.pointerChase(bnd, false, 1.0, 64, 1);
     }
-    return b.prog;
+    return b.build();
 }
 
 ProgramDecl
 buildSP(std::uint32_t cores, double scale)
 {
-    Builder b("SP", cores, 0x59);
+    ProgramBuilder b("SP", cores, 0x59);
     // Scalar penta-diagonal solver: 54 compute-heavy kernels with 497
     // streaming references over a small shared working set; no
     // guarded accesses at all (Table 2).
     // Per-core footprint (10 x 8KB sections = 80KB) deliberately
     // exceeds the 64KB L1D: SP streams from the NUCA in both systems,
     // as the paper's Class A input does.
-    const std::uint64_t section = sectionFor(10, 8 * 1024, scale);
+    const std::uint64_t section = spmSectionBytes(10, 8 * 1024, scale);
     std::uint32_t arrays[10];
     for (std::uint32_t a = 0; a < 10; ++a)
         arrays[a] = b.privateArray("sp" + std::to_string(a), section);
-    b.prog.timesteps = 2;
+    b.timesteps(2);
     std::uint32_t total_refs = 0;
     for (std::uint32_t ki = 0; ki < 54; ++ki) {
         // 43 kernels with 9 refs + 11 with 10 refs = 497 (Table 2).
         const std::uint32_t nrefs = ki < 11 ? 10 : 9;
-        KernelDecl &k = b.kernel("sp" + std::to_string(ki),
-                                 cores * (section / 8), 85, 4096);
-        for (std::uint32_t r = 0; r < nrefs; ++r) {
-            const std::uint32_t a = arrays[(ki + r) % 10];
-            b.spmRef(k, a, r == 0);
-        }
+        KernelBuilder k = b.kernel("sp" + std::to_string(ki),
+                                   cores * (section / 8), 85, 4096);
+        for (std::uint32_t r = 0; r < nrefs; ++r)
+            k.strided(arrays[(ki + r) % 10], r == 0);
         total_refs += nrefs;
     }
     if (total_refs != 497)
         panic("SP model: reference count drifted from Table 2");
-    return b.prog;
+    return b.build();
 }
 
 } // namespace

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * ProgramBuilder implementation: fluent construction plus the
+ * whole-program validation pass behind build().
+ */
+
+#include "workloads/ProgramBuilder.hh"
+
+#include <vector>
+
+#include "sim/Logging.hh"
+#include "sim/Types.hh"
+
+namespace spmcoh
+{
+
+namespace
+{
+
+std::uint64_t
+pow2Floor(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+std::uint64_t
+spmSectionBytes(std::uint32_t spm_refs, std::uint64_t target_bytes,
+                double scale, std::uint32_t spm_bytes)
+{
+    if (spm_refs == 0)
+        fatal("spmSectionBytes: need at least one SPM reference");
+    std::uint64_t t =
+        static_cast<std::uint64_t>(double(target_bytes) * scale);
+    if (t < lineBytes)
+        t = lineBytes;
+    std::uint64_t buf = pow2Floor(spm_bytes / spm_refs);
+    if (buf > pow2Floor(t))
+        buf = pow2Floor(t);
+    std::uint64_t chunks = t / buf;
+    if (chunks == 0)
+        chunks = 1;
+    return chunks * buf;
+}
+
+// --------------------------------------------------- KernelBuilder
+
+KernelBuilder &
+KernelBuilder::addRef(std::uint32_t array_id, AccessPattern pat,
+                      bool write, std::int64_t stride_bytes,
+                      double hot_frac, std::uint64_t hot_bytes,
+                      std::uint32_t per_iter, bool pointer_based)
+{
+    MemRefDecl r;
+    r.id = b->nextRef++;
+    r.arrayId = array_id;
+    r.pattern = pat;
+    r.strideBytes = stride_bytes;
+    r.isWrite = write;
+    r.hotFraction = hot_frac;
+    r.hotBytes = hot_bytes;
+    r.accessesPerIter = per_iter;
+    r.pointerBased = pointer_based;
+    b->prog.kernels[idx].refs.push_back(r);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::strided(std::uint32_t array_id, bool write,
+                       std::int64_t stride_bytes)
+{
+    return addRef(array_id, AccessPattern::Strided, write,
+                  stride_bytes, 0.8, 4096, 1, false);
+}
+
+KernelBuilder &
+KernelBuilder::indirect(std::uint32_t array_id, bool write,
+                        double hot_frac, std::uint64_t hot_bytes,
+                        std::uint32_t per_iter)
+{
+    return addRef(array_id, AccessPattern::Indirect, write, 8,
+                  hot_frac, hot_bytes, per_iter, false);
+}
+
+KernelBuilder &
+KernelBuilder::pointerChase(std::uint32_t array_id, bool write,
+                            double hot_frac, std::uint64_t hot_bytes,
+                            std::uint32_t per_iter)
+{
+    return addRef(array_id, AccessPattern::PointerChase, write, 8,
+                  hot_frac, hot_bytes, per_iter, true);
+}
+
+KernelBuilder &
+KernelBuilder::stack(std::uint32_t array_id, bool write,
+                     std::uint32_t per_iter)
+{
+    return addRef(array_id, AccessPattern::Stack, write, 8, 0.8,
+                  4096, per_iter, false);
+}
+
+// -------------------------------------------------- ProgramBuilder
+
+ProgramBuilder::ProgramBuilder(std::string name, std::uint32_t cores,
+                               std::uint64_t seed)
+    : numCores(cores)
+{
+    if (cores == 0)
+        fatal("ProgramBuilder: core count must be non-zero");
+    prog.name = std::move(name);
+    prog.seed = seed;
+}
+
+std::uint32_t
+ProgramBuilder::privateArray(const std::string &name,
+                             std::uint64_t section_bytes)
+{
+    ArrayDecl a;
+    a.id = nextArray++;
+    a.name = name;
+    a.bytes = section_bytes * numCores;
+    a.threadPrivateSection = true;
+    prog.arrays.push_back(a);
+    return a.id;
+}
+
+std::uint32_t
+ProgramBuilder::sharedArray(const std::string &name,
+                            std::uint64_t bytes)
+{
+    ArrayDecl a;
+    a.id = nextArray++;
+    a.name = name;
+    a.bytes = divCeil(bytes, lineBytes) * lineBytes;
+    a.threadPrivateSection = false;
+    prog.arrays.push_back(a);
+    return a.id;
+}
+
+KernelBuilder
+ProgramBuilder::kernel(const std::string &name,
+                       std::uint64_t iterations,
+                       std::uint32_t instrs_per_iter,
+                       std::uint32_t code_bytes)
+{
+    KernelDecl k;
+    k.id = static_cast<std::uint32_t>(prog.kernels.size());
+    k.name = name;
+    k.iterations = iterations;
+    k.instrsPerIter = instrs_per_iter;
+    k.codeBytes = code_bytes;
+    prog.kernels.push_back(k);
+    return KernelBuilder(*this, k.id);
+}
+
+ProgramBuilder &
+ProgramBuilder::timesteps(std::uint32_t n)
+{
+    prog.timesteps = n;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::spmBytes(std::uint32_t bytes)
+{
+    spmCapacity = bytes;
+    return *this;
+}
+
+ProgramDecl
+ProgramBuilder::build() const
+{
+    std::vector<std::string> errs;
+
+    if (prog.kernels.empty())
+        errs.push_back("program declares no kernels");
+    if (prog.timesteps == 0)
+        errs.push_back("program has zero timesteps");
+
+    auto arrayOf = [this](std::uint32_t id) -> const ArrayDecl * {
+        for (const ArrayDecl &a : prog.arrays)
+            if (a.id == id)
+                return &a;
+        return nullptr;
+    };
+
+    for (const ArrayDecl &a : prog.arrays)
+        if (a.bytes == 0)
+            errs.push_back("array '" + a.name + "' has zero bytes");
+
+    for (const KernelDecl &k : prog.kernels) {
+        if (k.iterations == 0)
+            errs.push_back("kernel '" + k.name +
+                           "' has zero iterations");
+        else if (k.iterations % numCores != 0)
+            errs.push_back(
+                "kernel '" + k.name + "': " +
+                std::to_string(k.iterations) +
+                " iterations do not divide across " +
+                std::to_string(numCores) + " cores");
+
+        // Mirror the compiler's SPM buffer selection (Compiler.cc
+        // pass 3) so tiling problems surface here, with the array
+        // named, instead of as a mid-compile fatal.
+        std::uint32_t num_spm_refs = 0;
+        std::int64_t max_stride = 8;
+        for (const MemRefDecl &r : k.refs) {
+            const ArrayDecl *a = arrayOf(r.arrayId);
+            if (!a) {
+                errs.push_back(
+                    "kernel '" + k.name + "' ref #" +
+                    std::to_string(r.id) +
+                    " references undeclared array id " +
+                    std::to_string(r.arrayId));
+                continue;
+            }
+            if ((r.pattern == AccessPattern::Indirect ||
+                 r.pattern == AccessPattern::PointerChase) &&
+                !(r.hotFraction >= 0.0 && r.hotFraction <= 1.0))
+                errs.push_back("kernel '" + k.name +
+                               "': reference to '" + a->name +
+                               "' has hot fraction outside [0, 1]");
+            if (r.pattern == AccessPattern::Strided &&
+                a->threadPrivateSection) {
+                ++num_spm_refs;
+                const std::int64_t s = r.strideBytes < 0
+                    ? -r.strideBytes : r.strideBytes;
+                if (s > max_stride)
+                    max_stride = s;
+            }
+        }
+        if (num_spm_refs == 0)
+            continue;
+
+        std::uint64_t per_buf = spmCapacity / num_spm_refs;
+        bool sections_ok = true;
+        for (const MemRefDecl &r : k.refs) {
+            const ArrayDecl *a = arrayOf(r.arrayId);
+            if (!a || r.pattern != AccessPattern::Strided ||
+                !a->threadPrivateSection)
+                continue;
+            const std::uint64_t section = a->bytes / numCores;
+            if (section < lineBytes) {
+                errs.push_back(
+                    "kernel '" + k.name + "': array '" + a->name +
+                    "' section (" + std::to_string(section) +
+                    " bytes) is smaller than a cache line (" +
+                    std::to_string(lineBytes) + " bytes)");
+                sections_ok = false;
+            } else if (section < per_buf) {
+                per_buf = section;
+            }
+        }
+        if (!sections_ok)
+            continue;
+        std::uint64_t buf = lineBytes;
+        while (buf * 2 <= per_buf)
+            buf *= 2;
+        if (static_cast<std::uint64_t>(max_stride) > buf)
+            errs.push_back("kernel '" + k.name + "': stride " +
+                           std::to_string(max_stride) +
+                           " exceeds the " + std::to_string(buf) +
+                           "-byte SPM buffer");
+        for (const MemRefDecl &r : k.refs) {
+            const ArrayDecl *a = arrayOf(r.arrayId);
+            if (!a || r.pattern != AccessPattern::Strided ||
+                !a->threadPrivateSection)
+                continue;
+            const std::uint64_t section = a->bytes / numCores;
+            if (section % buf != 0)
+                errs.push_back(
+                    "kernel '" + k.name + "': array '" + a->name +
+                    "' section (" + std::to_string(section) +
+                    " bytes) does not tile the " +
+                    std::to_string(buf) +
+                    "-byte SPM buffers (use spmSectionBytes())");
+        }
+    }
+
+    if (!errs.empty()) {
+        std::string msg =
+            "malformed program '" + prog.name + "':";
+        for (const std::string &e : errs)
+            msg += "\n  - " + e;
+        fatal(msg);
+    }
+    return prog;
+}
+
+} // namespace spmcoh

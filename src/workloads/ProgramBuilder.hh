@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Validated fluent construction of ProgramDecls.
+ *
+ * Promotes the private builder the NAS models used into the public
+ * workload-authoring API: arrays and memory references get their ids
+ * auto-wired, kernels are authored by chaining reference calls
+ * (`kernel(...).strided(a).pointerChase(t, ...)`), and build()
+ * rejects malformed programs with one actionable message per
+ * problem — dangling array ids, zero-iteration kernels, per-thread
+ * sections that do not tile the SPM buffers — instead of letting
+ * them fail deep inside the compiler or simulator.
+ */
+
+#ifndef SPMCOH_WORKLOADS_PROGRAMBUILDER_HH
+#define SPMCOH_WORKLOADS_PROGRAMBUILDER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/LoopIr.hh"
+
+namespace spmcoh
+{
+
+class ProgramBuilder;
+
+/**
+ * Fluent reference-authoring handle for one kernel, returned by
+ * ProgramBuilder::kernel(). Copyable by value; every call returns
+ * the handle again so references chain:
+ *
+ *   b.kernel("conj_grad", iters, 14, 1536)
+ *       .strided(colidx)
+ *       .strided(z, true)
+ *       .pointerChase(x, false, 0.85, 16 * 1024);
+ */
+class KernelBuilder
+{
+  public:
+    /** a[i]: an SPM candidate when the array is thread-private. */
+    KernelBuilder &strided(std::uint32_t array_id, bool write = false,
+                           std::int64_t stride_bytes = 8);
+
+    /**
+     * a[idx[i]]: random accesses whose target array is statically
+     * known, so alias analysis succeeds and the access stays a plain
+     * cache access (Sec. 2.4).
+     */
+    KernelBuilder &indirect(std::uint32_t array_id, bool write,
+                            double hot_frac, std::uint64_t hot_bytes,
+                            std::uint32_t per_iter = 1);
+
+    /**
+     * *ptr: random accesses opaque to alias analysis; compiled into
+     * guarded memory instructions (Sec. 2.4).
+     */
+    KernelBuilder &pointerChase(std::uint32_t array_id, bool write,
+                                double hot_frac,
+                                std::uint64_t hot_bytes,
+                                std::uint32_t per_iter = 1);
+
+    /** Register-spill traffic; always a plain cache access. */
+    KernelBuilder &stack(std::uint32_t array_id, bool write,
+                         std::uint32_t per_iter);
+
+  private:
+    friend class ProgramBuilder;
+    KernelBuilder(ProgramBuilder &b_, std::uint32_t kernel_idx)
+        : b(&b_), idx(kernel_idx)
+    {}
+
+    KernelBuilder &addRef(std::uint32_t array_id, AccessPattern pat,
+                          bool write, std::int64_t stride_bytes,
+                          double hot_frac, std::uint64_t hot_bytes,
+                          std::uint32_t per_iter, bool pointer_based);
+
+    ProgramBuilder *b;
+    std::uint32_t idx;
+};
+
+/**
+ * Builds a ProgramDecl incrementally and validates it as a whole.
+ * Array and reference ids are assigned in declaration order, so two
+ * identical call sequences produce byte-identical programs.
+ */
+class ProgramBuilder
+{
+  public:
+    /**
+     * @param cores thread count the program is built for; private
+     *        array sections and iteration splits validate against it
+     * @param seed  deterministic RNG seed stored in the program
+     */
+    ProgramBuilder(std::string name, std::uint32_t cores,
+                   std::uint64_t seed = 1);
+
+    /**
+     * Declare an array of which each thread traverses a private
+     * @p section_bytes section (total size section * cores).
+     * @return the auto-assigned array id
+     */
+    std::uint32_t privateArray(const std::string &name,
+                               std::uint64_t section_bytes);
+
+    /** Declare a shared array (size rounded up to a line multiple). */
+    std::uint32_t sharedArray(const std::string &name,
+                              std::uint64_t bytes);
+
+    /** Append a kernel; author its references on the result. */
+    KernelBuilder kernel(const std::string &name,
+                         std::uint64_t iterations,
+                         std::uint32_t instrs_per_iter = 12,
+                         std::uint32_t code_bytes = 2048);
+
+    /** Timesteps the kernel sequence repeats (default 1). */
+    ProgramBuilder &timesteps(std::uint32_t n);
+
+    /**
+     * Per-core SPM capacity the tiling validation assumes (default
+     * 32KB, the Table 1 machine).
+     */
+    ProgramBuilder &spmBytes(std::uint32_t bytes);
+
+    std::uint32_t cores() const { return numCores; }
+
+    /**
+     * Validate and return the program. Fatal listing every problem
+     * found: no kernels, zero-byte arrays, kernels with zero
+     * iterations or iteration counts that do not divide across the
+     * cores, references to undeclared arrays, hot fractions outside
+     * [0, 1], and SPM-mapped sections that do not tile the SPM
+     * buffers the compiler would choose.
+     */
+    ProgramDecl build() const;
+
+  private:
+    friend class KernelBuilder;
+
+    ProgramDecl prog;
+    std::uint32_t numCores;
+    std::uint32_t nextArray = 0;
+    std::uint32_t nextRef = 0;
+    std::uint32_t spmCapacity = 32 * 1024;
+};
+
+/**
+ * Per-thread section size for a kernel with @p spm_refs streamed
+ * references: @p target_bytes scaled by @p scale, rounded to an
+ * exact number of the power-of-two SPM buffers the compiler will
+ * pick, so the tiling divides evenly for any scale (and never drops
+ * below one cache line).
+ */
+std::uint64_t spmSectionBytes(std::uint32_t spm_refs,
+                              std::uint64_t target_bytes,
+                              double scale,
+                              std::uint32_t spm_bytes = 32 * 1024);
+
+} // namespace spmcoh
+
+#endif // SPMCOH_WORKLOADS_PROGRAMBUILDER_HH

@@ -26,9 +26,22 @@ TEST(WorkloadRegistry, GlobalKnowsAllNasBenchmarks)
     WorkloadRegistry &reg = WorkloadRegistry::global();
     for (NasBench b : allNasBenchmarks())
         EXPECT_TRUE(reg.contains(nasBenchName(b)));
-    EXPECT_EQ(reg.names().size(), 6u);
     const ProgramDecl prog = reg.build("CG", 4, 0.25);
     EXPECT_FALSE(prog.kernels.empty());
+}
+
+TEST(WorkloadRegistry, GlobalCarriesTheKernelWorkloads)
+{
+    WorkloadRegistry &reg = WorkloadRegistry::global();
+    EXPECT_GE(reg.names().size(), 10u);
+    for (const char *w : {"stencil", "gather", "pchase",
+                          "reduction", "transpose"}) {
+        ASSERT_TRUE(reg.contains(w)) << w;
+        // Every registered workload is buildable and runnable with
+        // spec-default parameters at a small machine size.
+        const ProgramDecl prog = reg.build(w, 4, 0.25);
+        EXPECT_FALSE(prog.kernels.empty()) << w;
+    }
 }
 
 TEST(WorkloadRegistry, UnknownNameListsKnownWorkloads)
