@@ -26,16 +26,27 @@ echo "== result regression check (CG 8-core vs golden) =="
 python3 scripts/diff_results.py "$BUILD_DIR"/smoke8.json \
     tests/golden/cg8_smoke.json
 
-echo "== workload registry smoke (>=10 parameterized workloads) =="
+echo "== workload registry smoke (>=14 parameterized workloads) =="
 "$BUILD_DIR"/spmcoh_run --list-workloads \
     > "$BUILD_DIR"/workloads.txt
-# One unindented line per workload; indented lines are --wparam
-# parameter descriptions.
+# One unindented line per workload; indented lines are the phase
+# graph shape and --wparam parameter descriptions.
 WORKLOADS=$(grep -c '^[A-Za-z0-9]' "$BUILD_DIR"/workloads.txt)
-test "$WORKLOADS" -ge 10 || {
+test "$WORKLOADS" -ge 14 || {
     echo "only $WORKLOADS workloads registered"; exit 1; }
 grep -q -- '--wparam=grids=' "$BUILD_DIR"/workloads.txt
 grep -q -- '--wparam=aliased=' "$BUILD_DIR"/workloads.txt
+# Every workload advertises its phase-graph shape.
+PHASES=$(grep -c '^  phase graph: ' "$BUILD_DIR"/workloads.txt)
+test "$PHASES" -eq "$WORKLOADS" || {
+    echo "phase-graph shape missing ($PHASES of $WORKLOADS)"
+    exit 1; }
+
+echo "== result regression check (pipeline 8-core vs golden) =="
+"$BUILD_DIR"/spmcoh_run --workload=pipeline --cores=8 --jobs=2 \
+    --format=json --no-stats > "$BUILD_DIR"/pipeline8.json
+python3 scripts/diff_results.py "$BUILD_DIR"/pipeline8.json \
+    tests/golden/pipeline8_smoke.json
 
 echo "== result regression check (stencil 8-core vs golden) =="
 "$BUILD_DIR"/spmcoh_run --workload=stencil --cores=8 \

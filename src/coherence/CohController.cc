@@ -19,8 +19,35 @@ CohController::CohController(MemNet &net_, CohFabric &fab_,
                              const std::string &name)
     : net(net_), fab(fab_), amap(amap_), spm(spm_), dmac(dmac_),
       core(core_), p(p_), spmDir(p_.spmDirEntries),
-      filter(p_.filterEntries), stats(name)
+      filter(p_.filterEntries), stats(name),
+      resolveLatency(stats.histogram(
+          "resolveLatency", {8, 16, 32, 64, 128, 256, 512, 1024})),
+      pendingOccupancy(stats.histogram("pendingOccupancy",
+                                       {1, 2, 4, 8, 16, 24, 32, 48}))
 {
+}
+
+std::uint64_t
+CohController::trackPending(PendingReq req)
+{
+    req.issuedAt = net.events().now();
+    const std::uint64_t id = nextId++;
+    pending.emplace(id, std::move(req));
+    pendingOccupancy.sample(pending.size());
+    return id;
+}
+
+CohController::PendingReq
+CohController::untrackPending(std::uint64_t id, const char *what)
+{
+    auto it = pending.find(id);
+    if (it == pending.end())
+        panic(std::string("CohController: ") + what);
+    PendingReq req = std::move(it->second);
+    pending.erase(it);
+    resolveLatency.sample(net.events().now() - req.issuedAt);
+    pendingOccupancy.sample(pending.size());
+    return req;
 }
 
 void
@@ -154,8 +181,8 @@ CohController::resolveGuarded(Addr addr, std::uint8_t size,
 
     // Fig. 5c/5d: ask the FilterDir home slice.
     ++stats.counter("filterChecksSent");
-    const std::uint64_t id = nextId++;
-    pending.emplace(id, PendingReq{addr, is_write, std::move(cb)});
+    const std::uint64_t id =
+        trackPending(PendingReq{addr, is_write, 0, std::move(cb)});
     Message m;
     m.type = MsgType::FilterCheck;
     m.addr = addr;
@@ -180,8 +207,8 @@ CohController::remoteSpmAccess(Addr addr, std::uint8_t size,
     if (owner == core)
         panic("CohController: remoteSpmAccess to the local SPM");
     ++stats.counter("remoteSpmRequests");
-    const std::uint64_t id = nextId++;
-    pending.emplace(id, PendingReq{addr, is_write, std::move(cb)});
+    const std::uint64_t id =
+        trackPending(PendingReq{addr, is_write, 0, std::move(cb)});
     Message m;
     m.type = MsgType::SpmDirect;
     m.addr = addr;
@@ -223,11 +250,8 @@ void
 CohController::onCheckAck(const Message &msg)
 {
     const std::uint64_t id = msg.aux >> 8;
-    auto it = pending.find(id);
-    if (it == pending.end())
-        panic("CohController: ack for unknown guarded access");
-    PendingReq req = std::move(it->second);
-    pending.erase(it);
+    PendingReq req =
+        untrackPending(id, "ack for unknown guarded access");
     // Cache the not-mapped verdict; a full filter evicts an entry
     // that the FilterDir must stop tracking for us.
     if (auto evicted = filter.insert(fab.config.base(req.addr))) {
@@ -248,11 +272,8 @@ void
 CohController::onRemoteData(const Message &msg, bool is_store_ack)
 {
     const std::uint64_t id = msg.aux >> 8;
-    auto it = pending.find(id);
-    if (it == pending.end())
-        panic("CohController: remote response for unknown access");
-    PendingReq req = std::move(it->second);
-    pending.erase(it);
+    PendingReq req =
+        untrackPending(id, "remote response for unknown access");
     ++stats.counter("remoteSpmServed");
     req.cb(true, is_store_ack ? 0 : msg.data.read64(0));
 }

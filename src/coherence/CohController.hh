@@ -119,8 +119,14 @@ class CohController
     {
         Addr addr = 0;
         bool isWrite = false;
+        Tick issuedAt = 0;  ///< for the resolveLatency histogram
         ResolveCb cb;
     };
+
+    /** Record @p req as pending under a fresh id; returns the id. */
+    std::uint64_t trackPending(PendingReq req);
+    /** Remove and return pending @p id, sampling the histograms. */
+    PendingReq untrackPending(std::uint64_t id, const char *what);
 
     void onCheckAck(const Message &msg);
     void onRemoteData(const Message &msg, bool is_store_ack);
@@ -139,6 +145,12 @@ class CohController
     std::unordered_map<std::uint64_t, PendingReq> pending;
     std::uint64_t nextId = 1;
     StatGroup stats;
+    /** Issue-to-resolution latency of asynchronous guarded / remote
+     *  SPM requests (the Fig. 5c/5d paths). */
+    Histogram &resolveLatency;
+    /** Outstanding asynchronous requests, sampled on track/untrack
+     *  (mirrors the L1 mshrOccupancy pattern). */
+    Histogram &pendingOccupancy;
 };
 
 } // namespace spmcoh

@@ -67,21 +67,85 @@ struct MemRefDecl
     bool pointerBased = false;
 };
 
-/** One parallel kernel (computational loop). */
+/**
+ * The contiguous set of cores a kernel executes on. The default
+ * (count == 0) means "all cores of the machine"; a restricted group
+ * covers cores [first, first + count). Iterations split across the
+ * group members, and each member addresses thread-private array
+ * sections by its *rank* within the group, so disjoint groups can
+ * hand array sections to each other (producer/consumer pipelines).
+ */
+struct CoreGroup
+{
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;  ///< 0 = every core
+
+    bool all() const { return count == 0; }
+
+    std::uint32_t
+    size(std::uint32_t num_cores) const
+    {
+        return all() ? num_cores : count;
+    }
+
+    bool
+    contains(std::uint32_t core, std::uint32_t num_cores) const
+    {
+        return all() ? core < num_cores
+                     : core >= first && core < first + count;
+    }
+
+    /** Rank of @p core within the group (caller checks membership). */
+    std::uint32_t
+    rankOf(std::uint32_t core) const
+    {
+        return all() ? core : core - first;
+    }
+
+    bool
+    overlaps(const CoreGroup &o, std::uint32_t num_cores) const
+    {
+        const std::uint32_t alo = all() ? 0 : first;
+        const std::uint32_t ahi = alo + size(num_cores);
+        const std::uint32_t blo = o.all() ? 0 : o.first;
+        const std::uint32_t bhi = blo + o.size(num_cores);
+        return alo < bhi && blo < ahi;
+    }
+
+    bool operator==(const CoreGroup &) const = default;
+};
+
+/** One parallel kernel (computational loop): a phase-graph node. */
 struct KernelDecl
 {
     std::uint32_t id = 0;
     std::string name;
     std::vector<MemRefDecl> refs;
-    /** Total iterations, statically split across threads. */
+    /** Total iterations, statically split across the group members. */
     std::uint64_t iterations = 0;
     /** Non-memory instructions per iteration. */
     std::uint32_t instrsPerIter = 12;
     /** Kernel code footprint in bytes (I-cache behaviour). */
     std::uint32_t codeBytes = 2048;
+    /** Cores this kernel runs on (default: all). */
+    CoreGroup group{};
+    /** Phase-graph predecessor edges (kernel ids). */
+    std::vector<std::uint32_t> deps;
+    /** Arrays this kernel produces (phase-graph data-flow hints). */
+    std::vector<std::uint32_t> producesArrays;
+    /** Arrays this kernel consumes (validated against producers). */
+    std::vector<std::uint32_t> consumesArrays;
 };
 
-/** A benchmark: kernels executed in sequence, repeated. */
+/**
+ * A benchmark: a phase graph of kernels, repeated over timesteps.
+ *
+ * Flat legacy programs (no dependency edges, no restricted core
+ * groups) lower to the degenerate phase graph -- every kernel on all
+ * cores, chained in declaration order -- which executes exactly like
+ * the historical "kernel list with a global fork-join barrier after
+ * each kernel".
+ */
 struct ProgramDecl
 {
     std::string name;
@@ -90,6 +154,32 @@ struct ProgramDecl
     std::uint32_t timesteps = 1;
     std::uint64_t seed = 1;
 };
+
+/** True when any kernel declares an edge or a restricted group. */
+inline bool
+phaseGraphExplicit(const ProgramDecl &prog)
+{
+    for (const KernelDecl &k : prog.kernels)
+        if (!k.deps.empty() || !k.group.all())
+            return true;
+    return false;
+}
+
+/**
+ * Degenerate lowering of flat programs: when no kernel declares an
+ * edge or a group, chain the kernels in declaration order on all
+ * cores. ProgramBuilder::build() applies this so every compiled
+ * program is an explicit phase graph; PhaseSchedule re-applies it
+ * defensively for hand-built ProgramDecls.
+ */
+inline void
+ensurePhaseDeps(ProgramDecl &prog)
+{
+    if (phaseGraphExplicit(prog))
+        return;
+    for (std::size_t i = 1; i < prog.kernels.size(); ++i)
+        prog.kernels[i].deps.push_back(prog.kernels[i - 1].id);
+}
 
 } // namespace spmcoh
 

@@ -1,11 +1,19 @@
 /**
  * @file
- * Fork-join barrier used by the workload models.
+ * Scoped fork-join barrier used by the workload models.
  *
  * Modeled as a centralized counter with a configurable release
  * latency rather than as literal shared-memory spinning, which would
  * drown the traffic figures in synchronization noise the paper's
  * OpenMP runtime does not exhibit.
+ *
+ * Barriers are *group-scoped*: each instance counts exactly the
+ * phase-graph membership set that will arrive at it (a kernel's core
+ * group plus its cross-group waiters), and its release latency is
+ * derived from the mesh span of that membership (System::barrierFor)
+ * instead of one all-cores constant. A flat program's degenerate
+ * phase graph yields all-core barriers with the legacy latency, so
+ * the historical behaviour is a special case.
  */
 
 #ifndef SPMCOH_CPU_BARRIER_HH
@@ -54,6 +62,10 @@ class Barrier
     std::uint64_t generation() const { return generationCount; }
     std::uint32_t pendingArrivals() const
     { return static_cast<std::uint32_t>(waiting.size()); }
+    /** Size of the membership set this barrier counts. */
+    std::uint32_t expectedParties() const { return parties; }
+    /** Release latency this barrier was scoped with. */
+    Tick latency() const { return releaseLatency; }
 
   private:
     EventQueue &eq;

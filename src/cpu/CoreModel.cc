@@ -146,6 +146,10 @@ CoreModel::run()
             curPhase = static_cast<ExecPhase>(cur.tag);
             haveCur = false;
             break;
+          case OpKind::KernelMark:
+            markKernel(cur.count);
+            haveCur = false;
+            break;
           case OpKind::SetBufCfg:
             coh.setBufferConfig(cur.count);
             haveCur = false;
@@ -180,6 +184,7 @@ CoreModel::run()
             if (!dmac.enqueue(c))
                 return;  // command-queue slot callback wakes us
             ++stats.counter("dmaCommands");
+            bumpKernel(kernelDma);
             haveCur = false;
             break;
           }
@@ -217,7 +222,7 @@ CoreModel::run()
                 barrierDone = false;
                 if (!barrierArrive)
                     panic("CoreModel: no barrier hook installed");
-                barrierArrive(cur.count, [this] {
+                barrierArrive(cur, [this] {
                     barrierDone = true;
                     wake();
                 });
@@ -352,6 +357,7 @@ CoreModel::guardedPath(bool &need_return, bool &fall_to_gm)
     (void)need_return;
     const bool is_load = cur.kind == OpKind::Load;
     ++stats.counter("guardedAccesses");
+    bumpKernel(kernelGuarded);
     const GuardProbe g = coh.probeGuarded(cur.addr, !is_load);
     switch (g.kind) {
       case GuardProbe::Kind::UseCache:
@@ -626,6 +632,28 @@ CoreModel::storeValue() const
 }
 
 void
+CoreModel::markKernel(std::uint32_t id)
+{
+    if (curKernel >= 0) {
+        if (kernelCyc.size() <= static_cast<std::size_t>(curKernel))
+            kernelCyc.resize(curKernel + 1, 0);
+        kernelCyc[curKernel] += localTick - kernelStartTick;
+    }
+    curKernel = id;
+    kernelStartTick = localTick;
+}
+
+void
+CoreModel::bumpKernel(std::vector<std::uint64_t> &v)
+{
+    if (curKernel < 0)
+        return;
+    if (v.size() <= static_cast<std::size_t>(curKernel))
+        v.resize(curKernel + 1, 0);
+    ++v[curKernel];
+}
+
+void
 CoreModel::finish()
 {
     if (done)
@@ -633,6 +661,27 @@ CoreModel::finish()
     done = true;
     finishedAt = localTick;
     stats.counter("cycles") += localTick;
+
+    // Flush the phase-graph attribution (only populated when the op
+    // stream carried KernelMark ops).
+    if (curKernel >= 0) {
+        if (kernelCyc.size() <= static_cast<std::size_t>(curKernel))
+            kernelCyc.resize(curKernel + 1, 0);
+        kernelCyc[curKernel] += localTick - kernelStartTick;
+        curKernel = -1;
+    }
+    for (std::size_t k = 0; k < kernelCyc.size(); ++k)
+        if (kernelCyc[k])
+            stats.counter("phase" + std::to_string(k) + "Cycles") +=
+                kernelCyc[k];
+    for (std::size_t k = 0; k < kernelGuarded.size(); ++k)
+        if (kernelGuarded[k])
+            stats.counter("phase" + std::to_string(k) + "Guarded") +=
+                kernelGuarded[k];
+    for (std::size_t k = 0; k < kernelDma.size(); ++k)
+        if (kernelDma[k])
+            stats.counter("phase" + std::to_string(k) + "Dma") +=
+                kernelDma[k];
     if (finishedCb)
         finishedCb();
 }

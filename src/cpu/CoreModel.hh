@@ -95,10 +95,13 @@ class CoreModel
               const AddressMap &amap_, CoreId core_, SystemMode mode_,
               const CoreParams &p_, const std::string &name);
 
-    /** Install the barrier hook (id, on-release callback). */
+    /**
+     * Install the barrier hook (the Barrier op carrying the scope
+     * metadata, on-release callback).
+     */
     void
     setBarrierHook(
-        std::function<void(std::uint32_t, std::function<void()>)> f)
+        std::function<void(const MicroOp &, std::function<void()>)> f)
     {
         barrierArrive = std::move(f);
     }
@@ -224,7 +227,22 @@ class CoreModel
     ExecPhase curPhase = ExecPhase::Work;
     std::uint64_t phaseCyc[numExecPhases] = {0, 0, 0};
 
-    std::function<void(std::uint32_t, std::function<void()>)>
+    /**
+     * Phase-graph accounting: the kernel named by the last
+     * KernelMark op. Cycles (including blocked time), guarded
+     * accesses and DMA commands are attributed to it and exported
+     * as phase<K>Cycles / phase<K>Guarded / phase<K>Dma counters
+     * when the core finishes.
+     */
+    std::int64_t curKernel = -1;
+    Tick kernelStartTick = 0;
+    std::vector<std::uint64_t> kernelCyc;
+    std::vector<std::uint64_t> kernelGuarded;
+    std::vector<std::uint64_t> kernelDma;
+    void markKernel(std::uint32_t id);
+    void bumpKernel(std::vector<std::uint64_t> &v);
+
+    std::function<void(const MicroOp &, std::function<void()>)>
         barrierArrive;
     std::function<void()> finishedCb;
     StatGroup stats;

@@ -47,7 +47,19 @@ enum class OpKind : std::uint8_t
     SetBufCfg,  ///< program Base/Offset masks: log2 size in @c count
     Phase,      ///< switch phase accounting to @c tag
     KernelCode, ///< kernel code footprint: @c count bytes at @c addr
-    Barrier,    ///< fork-join barrier @c count
+    /**
+     * Zero-cost phase-graph marker: kernel @c count (timestep
+     * @c tag) begins. The core attributes subsequent cycles and
+     * coherence activity to this kernel for the per-phase stats.
+     */
+    KernelMark,
+    /**
+     * Scoped fork-join barrier @c count. @c tag carries the arrival
+     * count (0 = every core, the legacy default); @c addr packs the
+     * member-core span (lo | hi << 32) the System derives the
+     * release latency from.
+     */
+    Barrier,
     End,        ///< thread finished
 };
 

@@ -24,6 +24,7 @@ prepareProgram(const ProgramDecl &prog, std::uint32_t num_cores,
     Compiler comp(spm_bytes, num_cores);
     pp.plan = comp.compile(prog);
     pp.layout = layoutProgram(pp.plan, num_cores, spm_bytes);
+    pp.schedule = PhaseSchedule(pp.plan.decl, num_cores);
     return pp;
 }
 
@@ -31,12 +32,17 @@ std::vector<std::unique_ptr<OpSource>>
 makeSources(const PreparedProgram &pp, std::uint32_t num_cores,
             SystemMode mode, std::uint32_t spm_bytes)
 {
+    if (pp.schedule.numCores() != num_cores)
+        fatal("makeSources: program was prepared for " +
+              std::to_string(pp.schedule.numCores()) +
+              " cores, not " + std::to_string(num_cores));
     std::vector<std::unique_ptr<OpSource>> srcs;
     const bool hybrid = mode != SystemMode::CacheOnly;
     srcs.reserve(num_cores);
     for (CoreId c = 0; c < num_cores; ++c)
         srcs.push_back(std::make_unique<ProgramSource>(
-            pp.plan, pp.layout, c, num_cores, hybrid, spm_bytes));
+            pp.plan, pp.layout, pp.schedule, c, num_cores, hybrid,
+            spm_bytes));
     return srcs;
 }
 

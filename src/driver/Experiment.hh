@@ -28,11 +28,13 @@
 namespace spmcoh
 {
 
-/** A compiled + laid-out program ready to run. */
+/** A compiled + laid-out + scheduled program ready to run. */
 struct PreparedProgram
 {
     ProgramPlan plan;
     ProgramLayout layout;
+    /** Resolved phase-graph execution plan (scoped barriers). */
+    PhaseSchedule schedule;
 };
 
 /** Compile and lay out @p prog for the given machine size. */

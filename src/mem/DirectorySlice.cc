@@ -21,7 +21,11 @@ DirectorySlice::DirectorySlice(MemNet &net_, CoreId tile_,
          lineShift + log2i(net_.cores())),
       dir(p_.dirEntries / p_.dirWays, p_.dirWays,
           lineShift + log2i(net_.cores())),
-      stats(name)
+      stats(name),
+      txnLatency(stats.histogram(
+          "txnLatency", {16, 32, 64, 128, 256, 512, 1024, 2048})),
+      txnOccupancy(stats.histogram("txnOccupancy",
+                                   {1, 2, 4, 8, 16, 24, 32, 48}))
 {
 }
 
@@ -93,8 +97,10 @@ DirectorySlice::startTxn(const Message &req)
 {
     const Addr la = lineAlign(req.addr);
     Txn t;
+    t.startedAt = net.events().now();
     t.req = req;
     busy.emplace(la, std::move(t));
+    sampleTxnOccupancy();
     net.events().scheduleIn(p.dirLatency, [this, la] { dispatch(la); });
 }
 
@@ -547,10 +553,12 @@ DirectorySlice::allocEntry(Addr la, DirEntry e)
         ++stats.counter("recalls");
         Txn rt;
         rt.kind = TxnKind::Recall;
+        rt.startedAt = net.events().now();
         rt.req.type = MsgType::Inv;
         rt.req.addr = *victim;
         const Addr va = *victim;
         busy.emplace(va, std::move(rt));
+        sampleTxnOccupancy();
         Txn &recall = busy.at(va);
         std::uint64_t targets = snapshot.sharers;
         if (snapshot.owner != invalidCore)
@@ -638,6 +646,8 @@ DirectorySlice::finishTxn(Addr la)
     auto it = busy.find(la);
     Txn old = std::move(it->second);
     busy.erase(it);
+    txnLatency.sample(net.events().now() - old.startedAt);
+    sampleTxnOccupancy();
     if (!old.queued.empty()) {
         Message next = old.queued.front();
         old.queued.pop_front();

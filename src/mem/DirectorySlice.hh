@@ -101,6 +101,7 @@ class DirectorySlice
     struct Txn
     {
         TxnKind kind = TxnKind::Request;
+        Tick startedAt = 0;  ///< for the txnLatency histogram
         Message req;
         std::deque<Message> queued;
         std::uint32_t pendingAcks = 0;
@@ -170,6 +171,13 @@ class DirectorySlice
     std::unordered_map<Addr, std::pair<LineData, std::uint32_t>>
         memWb;
     StatGroup stats;
+    /** Start-to-finish latency of every directory transaction. */
+    Histogram &txnLatency;
+    /** Concurrent blocked-line transactions, sampled on txn
+     *  start/finish (mirrors the L1 mshrOccupancy pattern). */
+    Histogram &txnOccupancy;
+    void sampleTxnOccupancy()
+    { txnOccupancy.sample(busy.size()); }
 };
 
 } // namespace spmcoh

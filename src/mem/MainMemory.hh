@@ -70,7 +70,13 @@ class MainMemory
 struct MemCtrlParams
 {
     Tick accessLatency = 80;  ///< fixed DRAM access time (cycles)
-    Tick serviceCycles = 2;   ///< line service rate (bandwidth)
+    /** Controller occupancy per line, in units of
+     *  1/serviceDenom cycles (bandwidth). */
+    Tick serviceCycles = 2;
+    /** Sub-cycle denominator: > 1 only when
+     *  SystemParams::scaleMcBandwidth re-derives the service rate
+     *  for the core population. */
+    Tick serviceDenom = 1;
 };
 
 class MemNet;
@@ -96,11 +102,16 @@ class MemCtrl
     Tick
     serviceSlot()
     {
-        Tick start = eq.now();
+        // Accounted in 1/serviceDenom sub-cycle units so scaled
+        // bandwidths below one cycle per line stay exact integers
+        // (deterministic across runs). serviceDenom == 1 reproduces
+        // the historical whole-cycle accounting bit-for-bit.
+        const Tick den = p.serviceDenom ? p.serviceDenom : 1;
+        Tick start = eq.now() * den;
         if (nextFree > start)
             start = nextFree;
         nextFree = start + p.serviceCycles;
-        return start + p.accessLatency;
+        return (start + den - 1) / den + p.accessLatency;
     }
 
     EventQueue &eq;

@@ -116,6 +116,22 @@ class Mesh
                (flitsFor(mp, bytes) - 1);
     }
 
+    /**
+     * Barrier release cost across a region of the mesh whose
+     * diameter is @p diameter_hops: the master gathers the last
+     * arrival and broadcasts the release, a control-packet round
+     * trip. Shared by the topology derivation (full-mesh barriers)
+     * and System::barrierFor (group-scoped barriers) so the cost
+     * model lives in one place.
+     */
+    static Tick
+    barrierReleaseLatency(const MeshParams &mp,
+                          std::uint32_t diameter_hops)
+    {
+        return 2 * contentionFreeLatency(mp, diameter_hops,
+                                         ctrlPacketBytes);
+    }
+
     /** Contention-free latency of a unicast (for planning/oracles). */
     Tick
     routeLatency(CoreId src, CoreId dst, std::uint32_t bytes) const

@@ -33,10 +33,15 @@ KernelSource::KernelSource(const ProgramPlan &prog_,
                            const RuntimeCosts &costs_)
     : prog(prog_), plan(prog_.kernels.at(kernel_idx)),
       layout(layout_), core(core_), numCores(num_cores),
+      groupSize(plan.decl.group.size(num_cores)),
+      rank(plan.decl.group.rankOf(core_)),
       hybrid(hybrid_), spmBytes(spm_bytes), costs(costs_),
       rng(mixSeed(prog_.decl.seed, plan.decl.id, core_, invocation))
 {
-    perThreadIters = plan.decl.iterations / numCores;
+    if (!plan.decl.group.contains(core_, num_cores))
+        fatal("KernelSource: core " + std::to_string(core_) +
+              " is not in kernel '" + plan.decl.name + "' group");
+    perThreadIters = plan.decl.iterations / groupSize;
     bufBytes = std::uint64_t(1) << plan.bufLog2;
     spmLocalBase = AddressMap::defaultSpmBase +
         static_cast<Addr>(core) * spmBytes;
@@ -100,10 +105,13 @@ Addr
 KernelSource::chunkBase(const ClassifiedRef &r,
                         std::uint64_t chunk_idx) const
 {
+    // Arrays are laid out in numCores sections; a grouped kernel's
+    // members cover sections [0, groupSize) by rank, so a consumer
+    // group touches exactly the sections its producer group wrote.
     const std::uint64_t section =
         layout.bytesOf(r.decl.arrayId) / numCores;
     return layout.baseOf(r.decl.arrayId) +
-        static_cast<Addr>(core) * section + chunk_idx * bufBytes;
+        static_cast<Addr>(rank) * section + chunk_idx * bufBytes;
 }
 
 Addr
@@ -128,15 +136,15 @@ KernelSource::randomTarget(const ClassifiedRef &r)
     // cold tail over the whole shared array. A shared hot set would
     // instead model an all-cores write ping-pong, which none of the
     // evaluated benchmarks exhibits.
-    const std::uint64_t window = bytes / numCores >= 8
-        ? bytes / numCores : bytes;
+    const std::uint64_t window = bytes / groupSize >= 8
+        ? bytes / groupSize : bytes;
     std::uint64_t hot = r.decl.hotBytes & ~7ull;
     if (hot > window)
         hot = window & ~7ull;
     std::uint64_t off;
     if (hot >= 8 && rng.uniform() < r.decl.hotFraction) {
         const std::uint64_t w_start =
-            (static_cast<std::uint64_t>(core) * window) % bytes;
+            (static_cast<std::uint64_t>(rank) * window) % bytes;
         off = (w_start + rng.below(hot / 8) * 8) % bytes;
     } else {
         off = rng.below(bytes / 8) * 8;
@@ -314,7 +322,7 @@ KernelSource::emitIteration()
             switch (r.cls) {
               case RefClass::Spm: {
                 const std::uint64_t elem =
-                    static_cast<std::uint64_t>(core) * perThreadIters +
+                    static_cast<std::uint64_t>(rank) * perThreadIters +
                     global_iter;
                 if (hybrid) {
                     m.addr = spmBufAddr(r) + iter * 8;
@@ -322,7 +330,7 @@ KernelSource::emitIteration()
                     const std::uint64_t section =
                         layout.bytesOf(r.decl.arrayId) / numCores;
                     m.addr = layout.baseOf(r.decl.arrayId) +
-                        static_cast<Addr>(core) * section +
+                        static_cast<Addr>(rank) * section +
                         global_iter * 8;
                 }
                 if (r.decl.isWrite) {

@@ -88,6 +88,14 @@ class KernelSource : public OpSource
     const ProgramLayout &layout;
     CoreId core;
     std::uint32_t numCores;
+    /** Members of this kernel's core group (== numCores when the
+     *  kernel runs on all cores). Iterations split across the group,
+     *  and sections are indexed by group rank so disjoint groups can
+     *  hand sections to each other. */
+    std::uint32_t groupSize;
+    /** This core's rank within the kernel's group (== core for
+     *  all-core kernels). */
+    std::uint32_t rank;
     bool hybrid;
     std::uint32_t spmBytes;
     RuntimeCosts costs;

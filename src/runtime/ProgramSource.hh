@@ -1,15 +1,30 @@
 /**
  * @file
- * Whole-program op stream: kernels in sequence, repeated over
- * timesteps, with a fork-join barrier after every kernel.
+ * Whole-program op stream: a per-core walker over the program's
+ * PhaseSchedule.
+ *
+ * Each core walks the deterministic topological kernel order,
+ * skipping phases its core group is not part of. Before running a
+ * kernel it emits scoped-barrier waits for every dependency whose
+ * producer group it does not belong to (and, at timestep boundaries,
+ * for the previous timestep's sink phases); after the kernel it
+ * arrives at the kernel's own completion barrier. Barrier ops carry
+ * the scope metadata (arrival count and core span) the System uses
+ * to size each barrier and derive its release latency.
+ *
+ * Flat legacy programs lower to the degenerate chain graph, where
+ * this walk reproduces the historical "every kernel on all cores,
+ * global barrier after each" stream byte-for-byte.
  */
 
 #ifndef SPMCOH_RUNTIME_PROGRAMSOURCE_HH
 #define SPMCOH_RUNTIME_PROGRAMSOURCE_HH
 
+#include <deque>
 #include <memory>
 
 #include "runtime/KernelSource.hh"
+#include "runtime/PhaseSchedule.hh"
 
 namespace spmcoh
 {
@@ -19,75 +34,102 @@ class ProgramSource : public OpSource
 {
   public:
     ProgramSource(const ProgramPlan &prog_, const ProgramLayout &layout_,
-                  CoreId core_, std::uint32_t num_cores, bool hybrid_,
+                  const PhaseSchedule &sched_, CoreId core_,
+                  std::uint32_t num_cores, bool hybrid_,
                   std::uint32_t spm_bytes,
                   const RuntimeCosts &costs_ = RuntimeCosts{})
-        : prog(prog_), layout(layout_), core(core_),
+        : prog(prog_), layout(layout_), sched(sched_), core(core_),
           numCores(num_cores), hybrid(hybrid_), spmBytes(spm_bytes),
-          costs(costs_)
+          costs(costs_), steps(sched_.stepsFor(core_))
     {
-        openKernel();
+        openStep();
     }
 
     bool
     next(MicroOp &op) override
     {
         while (true) {
-            if (pendingBarrier) {
-                pendingBarrier = false;
-                op = MicroOp{};
-                op.kind = OpKind::Barrier;
-                op.count = barrierSeq++;
+            if (!q.empty()) {
+                op = q.front();
+                q.pop_front();
                 return true;
             }
-            if (!current)
-                return false;
-            if (current->next(op))
-                return true;
-            // Kernel finished: barrier, then the next kernel.
-            pendingBarrier = true;
-            advanceKernel();
+            if (current) {
+                if (current->next(op))
+                    return true;
+                // Kernel finished: arrive at its completion barrier.
+                current.reset();
+                pushBarrier(steps[stepIdx].kernelIdx, timestep);
+                ++stepIdx;
+                openStep();
+                continue;
+            }
+            return false;
         }
     }
 
   private:
     void
-    openKernel()
+    openStep()
     {
-        if (timestep >= prog.decl.timesteps ||
-            prog.kernels.empty()) {
-            current.reset();
-            return;
+        if (timestep >= sched.timesteps())
+            return;  // zero-timestep decls: empty stream
+        while (stepIdx >= steps.size()) {
+            if (steps.empty())
+                return;  // core is in no phase: empty stream
+            ++timestep;
+            if (timestep >= sched.timesteps())
+                return;
+            stepIdx = 0;
         }
+        const PhaseStep &s = steps[stepIdx];
+        if (timestep > 0)
+            for (std::uint32_t snk : s.prevSinkWaits)
+                pushBarrier(snk, timestep - 1);
+        for (std::uint32_t dep : s.waits)
+            pushBarrier(dep, timestep);
+
+        // Phase marker: zero-cost; the core attributes cycles and
+        // coherence activity to the kernel it names.
+        MicroOp mark;
+        mark.kind = OpKind::KernelMark;
+        mark.count = prog.kernels[s.kernelIdx].decl.id;
+        mark.tag = timestep;
+        q.push_back(mark);
+
         current = std::make_unique<KernelSource>(
-            prog, kernelIdx, layout, core, numCores, hybrid, spmBytes,
-            timestep, costs);
+            prog, s.kernelIdx, layout, core, numCores, hybrid,
+            spmBytes, timestep, costs);
     }
 
+    /** Arrive at kernel @p idx's barrier of @p t. */
     void
-    advanceKernel()
+    pushBarrier(std::uint32_t idx, std::uint32_t t)
     {
-        ++kernelIdx;
-        if (kernelIdx >= prog.kernels.size()) {
-            kernelIdx = 0;
-            ++timestep;
-        }
-        openKernel();
+        const PhaseBarrier &b = sched.barrier(idx);
+        MicroOp op;
+        op.kind = OpKind::Barrier;
+        op.count = sched.barrierId(t, idx);
+        op.tag = sched.partiesAt(t, idx);
+        op.addr = static_cast<Addr>(b.loCore) |
+                  (static_cast<Addr>(b.hiCore) << 32);
+        q.push_back(op);
     }
 
     const ProgramPlan &prog;
     const ProgramLayout &layout;
+    const PhaseSchedule &sched;
     CoreId core;
     std::uint32_t numCores;
     bool hybrid;
     std::uint32_t spmBytes;
     RuntimeCosts costs;
 
+    std::vector<PhaseStep> steps;
     std::unique_ptr<KernelSource> current;
-    std::uint32_t kernelIdx = 0;
+    std::size_t stepIdx = 0;
     std::uint32_t timestep = 0;
-    std::uint32_t barrierSeq = 0;
-    bool pendingBarrier = false;
+    std::deque<MicroOp> q;
 };
 
 } // namespace spmcoh

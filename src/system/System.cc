@@ -30,6 +30,17 @@ System::System(const SystemParams &p_)
                   std::to_string(p.mesh.height) + " mesh");
     fabric.ideal = p.mode == SystemMode::HybridIdeal;
 
+    if (p.scaleMcBandwidth) {
+        // Keep aggregate memory bandwidth proportional to the core
+        // population: each line's controller occupancy becomes
+        // serviceCycles * 16 * numMCs / numCores cycles, tracked in
+        // 1/serviceDenom sub-cycle units (MemCtrl::serviceSlot).
+        const std::uint64_t mcs64 = p.mcTiles.size();
+        p.mc.serviceCycles = p.mc.serviceCycles * 16 *
+            static_cast<Tick>(mcs64);
+        p.mc.serviceDenom *= p.numCores;
+    }
+
     net = std::make_unique<MemNet>(eq, noc, p.numCores, p.mcTiles);
 
     for (std::uint32_t i = 0; i < p.mcTiles.size(); ++i) {
@@ -98,8 +109,8 @@ System::System(const SystemParams &p_)
             *cohs[i], amap, i, p.mode, p.core,
             "core" + std::to_string(i)));
         cores.back()->setBarrierHook(
-            [this](std::uint32_t id, std::function<void()> cb) {
-                barrier(id).arrive(std::move(cb));
+            [this](const MicroOp &op, std::function<void()> cb) {
+                barrierFor(op).arrive(std::move(cb));
             });
     }
 }
@@ -114,6 +125,41 @@ System::barrier(std::uint32_t id)
                                   eq, p.numCores, p.barrierLatency))
                  .first;
     }
+    return *it->second;
+}
+
+Barrier &
+System::barrierFor(const MicroOp &op)
+{
+    auto it = barriers.find(op.count);
+    if (it != barriers.end())
+        return *it->second;
+
+    // Legacy streams (hand-rolled op sources) carry no scope
+    // metadata: tag == 0 means the all-cores barrier.
+    const std::uint32_t parties = op.tag ? op.tag : p.numCores;
+    const auto lo = static_cast<std::uint32_t>(op.addr);
+    const auto hi = static_cast<std::uint32_t>(op.addr >> 32);
+    Tick lat = p.barrierLatency;
+    if (op.tag != 0 && !(lo == 0 && hi + 1 >= p.numCores)) {
+        // Subgroup barrier: release round trip across the span's
+        // mesh bounding box (tiles are laid out row-major, so a
+        // contiguous core range spanning several rows covers the
+        // full width).
+        const std::uint32_t w = p.mesh.width;
+        const std::uint32_t ylo = lo / w, yhi = hi / w;
+        std::uint32_t xlo = 0, xhi = w ? w - 1 : 0;
+        if (ylo == yhi) {
+            xlo = lo % w;
+            xhi = hi % w;
+        }
+        const std::uint32_t diam = (xhi - xlo) + (yhi - ylo);
+        lat = Mesh::barrierReleaseLatency(p.mesh, diam);
+    }
+    it = barriers
+             .emplace(op.count,
+                      std::make_unique<Barrier>(eq, parties, lat))
+             .first;
     return *it->second;
 }
 

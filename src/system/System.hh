@@ -60,8 +60,20 @@ struct SystemParams
      *  re-derives this (with the mesh) for any other core count. */
     std::vector<CoreId> mcTiles = {0, 7, 56, 63};
     /** Release round trip across the 8x8 mesh diameter; forMode
-     *  re-derives it from the chosen geometry. */
+     *  re-derives it from the chosen geometry. Group-scoped barriers
+     *  spanning a subset of the mesh derive a smaller latency from
+     *  their member span (System::barrierFor). */
     Tick barrierLatency = 58;
+    /**
+     * Scale per-controller memory bandwidth with the core
+     * population (ROADMAP "Scale"): when set, each controller's
+     * line-service occupancy becomes
+     * serviceCycles * 16 * numControllers / numCores cycles, keeping
+     * aggregate bandwidth proportional to the core count (the
+     * Table 1 machine -- 64 cores, 4 controllers -- is the fixed
+     * point). Default off so existing goldens are untouched.
+     */
+    bool scaleMcBandwidth = false;
     /** Deadlock guard for event-loop runs. */
     Tick maxTicks = std::uint64_t(4) << 32;
     EnergyParams energy{};
@@ -138,8 +150,19 @@ class System
     FilterDirSlice &filterDirAt(CoreId i) { return *fslices[i]; }
     CoreModel &coreAt(CoreId i) { return *cores[i]; }
 
-    /** Barrier registry used by the cores' barrier hook. */
+    /** Barrier registry: all-cores legacy barrier for @p id. */
     Barrier &barrier(std::uint32_t id);
+
+    /**
+     * Barrier registry used by the cores' barrier hook: the scoped
+     * barrier a Barrier op describes. The op's tag carries the
+     * arrival count (0 = every core) and its addr the member-core
+     * span; a barrier spanning the whole machine uses the configured
+     * barrierLatency, a subgroup derives its release latency from
+     * the span's mesh bounding box (same round-trip formula the
+     * topology layer uses for the full mesh).
+     */
+    Barrier &barrierFor(const MicroOp &op);
 
     /**
      * Run the given per-core op sources to completion.

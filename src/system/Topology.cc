@@ -121,13 +121,11 @@ Topology::forCores(std::uint32_t cores, const MeshParams &mesh)
     t.height = dims.second;
     t.mcTiles = memCtrlTiles(t.width, t.height, memCtrlCount(cores));
 
-    // Barrier release: the master gathers the last arrival and
-    // broadcasts the release, a round trip across the mesh diameter
-    // in control packets.
+    // Barrier release: a control-packet round trip across the mesh
+    // diameter (cost model shared with the group-scoped barriers in
+    // System::barrierFor).
     const std::uint32_t diameter = (t.width - 1) + (t.height - 1);
-    t.barrierLatency =
-        2 * Mesh::contentionFreeLatency(mesh, diameter,
-                                        ctrlPacketBytes);
+    t.barrierLatency = Mesh::barrierReleaseLatency(mesh, diameter);
     return t;
 }
 

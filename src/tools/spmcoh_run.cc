@@ -23,6 +23,7 @@
 #include "driver/Cli.hh"
 #include "driver/Driver.hh"
 #include "driver/ThreadPool.hh"
+#include "runtime/PhaseSchedule.hh"
 #include "sim/Logging.hh"
 
 using namespace spmcoh;
@@ -46,6 +47,24 @@ main(int argc, char **argv)
                 std::printf("%s%s%s\n", w.c_str(),
                             s.description.empty() ? "" : " - ",
                             s.description.c_str());
+                // Phase-graph shape of the default-parameter program
+                // on the Table 1 machine (flat workloads show their
+                // degenerate chain).
+                try {
+                    const ProgramDecl d = reg.build(w, 64);
+                    const PhaseSchedule sched(d, 64);
+                    std::printf(
+                        "  phase graph: %u kernel%s, %u core "
+                        "group%s, %u dependency edge%s\n",
+                        sched.numKernels(),
+                        sched.numKernels() == 1 ? "" : "s",
+                        sched.numGroups(),
+                        sched.numGroups() == 1 ? "" : "s",
+                        sched.numEdges(),
+                        sched.numEdges() == 1 ? "" : "s");
+                } catch (const FatalError &) {
+                    std::printf("  phase graph: n/a at 64 cores\n");
+                }
                 for (const ParamSpec &p : s.params)
                     std::printf(
                         "  --wparam=%s=V  %s (default %g, "

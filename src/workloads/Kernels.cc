@@ -132,6 +132,123 @@ buildTranspose(std::uint32_t cores, double scale,
     return b.build();
 }
 
+ProgramDecl
+buildPipeline(std::uint32_t cores, double scale,
+              const WorkloadParams &p)
+{
+    ProgramBuilder b("pipeline", cores, 0x91);
+    // Disjoint halves hand `buf` through the SPM coherence
+    // protocol: the producers stream it through their SPMs (one
+    // chunk per section, so the whole produced region stays mapped
+    // after the phase), then the consumers' guarded reads divert to
+    // those still-mapped remote buffers (Fig. 5d). An all-cores
+    // drain phase closes the graph so the group -> all-cores join
+    // is exercised too.
+    const std::uint32_t half = cores / 2;
+    const std::uint64_t section =
+        spmSectionBytes(2, kb(p, "sectionKB"), scale);
+    const std::uint64_t scratch_sec = spmSectionBytes(1, 2048, scale);
+    const std::uint32_t src = b.privateArray("src", section);
+    const std::uint32_t buf = b.privateArray("buf", section);
+    const std::uint32_t out = b.privateArray("out", section);
+    const std::uint32_t scratch =
+        b.privateArray("scratch", scratch_sec);
+
+    KernelBuilder produce =
+        b.kernel("produce", std::uint64_t(half) * (section / 8), 10,
+                 1024)
+            .onCores(0, half)
+            .strided(src)
+            .strided(buf, true)
+            .produces(buf);
+    KernelBuilder consume =
+        b.kernel("consume", std::uint64_t(half) * (section / 8), 12,
+                 1280)
+            .onCores(half, half)
+            .strided(out, true)
+            .pointerChase(buf, false, p.get("hotFrac"),
+                          kb(p, "hotKB"),
+                          static_cast<std::uint32_t>(
+                              p.getUInt("chases")))
+            .after(produce.id())
+            .consumes(buf)
+            .produces(out);
+    b.kernel("drain", std::uint64_t(cores) * (scratch_sec / 8), 8,
+             768)
+        .strided(scratch)
+        .after(consume.id());
+    b.timesteps(2);
+    return b.build();
+}
+
+ProgramDecl
+buildContend(std::uint32_t cores, double scale,
+             const WorkloadParams &p)
+{
+    ProgramBuilder b("contend", cores, 0x77);
+    // Write-heavy all-cores contention: every core streams a thin
+    // private array while hammering guarded read-modify-writes into
+    // one small shared hot set. With a hot set far below the
+    // per-core window the random targets collide across cores --
+    // the directory invalidation ping-pong regime. Store values
+    // depend only on the address, so the racy final image is still
+    // deterministic and mode-independent.
+    const std::uint64_t section =
+        spmSectionBytes(1, kb(p, "sectionKB"), scale);
+    const std::uint32_t stream = b.privateArray("stream", section);
+    const std::uint32_t hot = b.sharedArray("hotset", kb(p, "hotKB"));
+    b.kernel("contend", std::uint64_t(cores) * (section / 8), 8,
+             1024)
+        .strided(stream)
+        .pointerChase(hot, true, p.get("hotFrac"), kb(p, "hotKB"),
+                      static_cast<std::uint32_t>(
+                          p.getUInt("writes")))
+        .pointerChase(hot, false, p.get("hotFrac"), kb(p, "hotKB"));
+    b.timesteps(2);
+    return b.build();
+}
+
+ProgramDecl
+buildGraphWalk(std::uint32_t cores, double scale,
+               const WorkloadParams &p)
+{
+    ProgramBuilder b("graphwalk", cores, 0x6B);
+    // Irregular graph traversal as an explicit two-phase graph:
+    // `expand` gathers neighbors through a statically-known index
+    // (plain GM accesses) and marks a shared visited array through
+    // guarded writes; `apply` rebuilds the frontier from the visited
+    // set. Both phases run on all cores -- the phase-graph API with
+    // degenerate groups but authored edges and data-flow.
+    const std::uint64_t section =
+        spmSectionBytes(1, kb(p, "frontierKB"), scale);
+    const std::uint32_t frontier =
+        b.privateArray("frontier", section);
+    const std::uint32_t adj =
+        b.sharedArray("adjacency", kb(p, "adjKB"));
+    const std::uint32_t visited =
+        b.sharedArray("visited", kb(p, "visitedKB"));
+
+    KernelBuilder expand =
+        b.kernel("expand", std::uint64_t(cores) * (section / 8), 10,
+                 1536)
+            .strided(frontier)
+            .indirect(adj, false, p.get("hotFrac"),
+                      kb(p, "visitedKB"),
+                      static_cast<std::uint32_t>(
+                          p.getUInt("degree")))
+            .pointerChase(visited, true, p.get("hotFrac"),
+                          kb(p, "visitedKB"))
+            .produces(visited);
+    b.kernel("apply", std::uint64_t(cores) * (section / 8), 8, 1024)
+        .strided(frontier, true)
+        .pointerChase(visited, false, p.get("hotFrac"),
+                      kb(p, "visitedKB"))
+        .after(expand.id())
+        .consumes(visited);
+    b.timesteps(2);
+    return b.build();
+}
+
 void
 registerKernelWorkloads(WorkloadRegistry &reg)
 {
@@ -224,6 +341,66 @@ registerKernelWorkloads(WorkloadRegistry &reg)
                        64, 1, 4096),
         };
         s.factory = buildTranspose;
+        reg.add(std::move(s));
+    }
+    {
+        WorkloadSpec s;
+        s.name = "pipeline";
+        s.description =
+            "producer/consumer kernel chain on disjoint core groups "
+            "(needs >= 2 cores)";
+        s.params = {
+            uint_param("sectionKB",
+                       "per-producer handoff section, KB", 8, 1, 64),
+            real_param("hotFrac",
+                       "fraction of consumer reads in the hot "
+                       "window", 0.75, 0, 1),
+            uint_param("hotKB", "consumer hot-window size, KB",
+                       16, 1, 1024),
+            uint_param("chases", "guarded reads per consumer "
+                       "iteration", 2, 1, 8),
+        };
+        s.factory = buildPipeline;
+        reg.add(std::move(s));
+    }
+    {
+        WorkloadSpec s;
+        s.name = "contend";
+        s.description =
+            "write-heavy all-cores contention on a small shared hot "
+            "set";
+        s.params = {
+            uint_param("sectionKB", "per-thread streamed section, KB",
+                       4, 1, 64),
+            uint_param("hotKB", "shared hot-set size, KB", 4, 1, 256),
+            real_param("hotFrac",
+                       "fraction of updates in the hot set",
+                       0.9, 0, 1),
+            uint_param("writes", "guarded writes per iteration",
+                       2, 1, 8),
+        };
+        s.factory = buildContend;
+        reg.add(std::move(s));
+    }
+    {
+        WorkloadSpec s;
+        s.name = "graphwalk";
+        s.description =
+            "irregular neighbor gather with guarded visited marking "
+            "(expand -> apply phase graph)";
+        s.params = {
+            uint_param("frontierKB", "per-thread frontier section, "
+                       "KB", 8, 1, 64),
+            uint_param("adjKB", "shared adjacency size, KB",
+                       256, 1, 4096),
+            uint_param("visitedKB", "shared visited array size, KB",
+                       32, 1, 1024),
+            real_param("hotFrac", "fraction of accesses in the hot "
+                       "neighborhood", 0.8, 0, 1),
+            uint_param("degree", "neighbors gathered per iteration",
+                       3, 1, 8),
+        };
+        s.factory = buildGraphWalk;
         reg.add(std::move(s));
     }
 }

@@ -14,6 +14,18 @@
  *               through guarded read-modify-writes (IS-like)
  *  - transpose: strided reads scattered through an index array the
  *               alias analysis proves safe (plain GM accesses)
+ *
+ * and the phase-graph workloads (cross-kernel sharing, the regime
+ * the coherence protocol exists for):
+ *
+ *  - pipeline:  producer/consumer kernel chain on disjoint core
+ *               groups handing an SPM-mapped array through the
+ *               coherence protocol (Fig. 5d remote-SPM serves)
+ *  - contend:   write-heavy all-cores contention on a small shared
+ *               hot set through guarded read-modify-writes
+ *  - graphwalk: irregular neighbor-gather over a shared adjacency
+ *               with guarded visited marking, as an explicit
+ *               two-phase graph
  */
 
 #ifndef SPMCOH_WORKLOADS_KERNELS_HH
@@ -45,7 +57,28 @@ ProgramDecl buildTranspose(std::uint32_t cores, double scale,
                            const WorkloadParams &p);
 
 /**
- * Register the five kernel workloads above into @p reg (done for
+ * Producer/consumer pipeline (sectionKB, hotFrac, hotKB, chases):
+ * cores split into two disjoint groups; the producer half streams a
+ * shared array through its SPMs, the consumer half reads it back
+ * with guarded accesses that divert to the producers' still-mapped
+ * SPM buffers, and an all-cores drain phase joins the graph.
+ * Needs at least 2 cores.
+ */
+ProgramDecl buildPipeline(std::uint32_t cores, double scale,
+                          const WorkloadParams &p);
+
+/** Write-heavy all-cores contention (sectionKB, hotKB, hotFrac,
+ *  writes). */
+ProgramDecl buildContend(std::uint32_t cores, double scale,
+                         const WorkloadParams &p);
+
+/** Irregular neighbor gather (frontierKB, adjKB, visitedKB,
+ *  hotFrac, degree): an explicit expand -> apply phase graph. */
+ProgramDecl buildGraphWalk(std::uint32_t cores, double scale,
+                           const WorkloadParams &p);
+
+/**
+ * Register the kernel workloads above into @p reg (done for
  * WorkloadRegistry::global() at startup).
  */
 void registerKernelWorkloads(WorkloadRegistry &reg);

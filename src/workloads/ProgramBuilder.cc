@@ -103,6 +103,41 @@ KernelBuilder::stack(std::uint32_t array_id, bool write,
                   4096, per_iter, false);
 }
 
+KernelBuilder &
+KernelBuilder::onCores(std::uint32_t first, std::uint32_t count)
+{
+    return onCores(CoreGroup{first, count});
+}
+
+KernelBuilder &
+KernelBuilder::onCores(const CoreGroup &g)
+{
+    b->prog.kernels[idx].group = g;
+    b->explicitGroups.push_back(idx);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::after(std::uint32_t kernel_id)
+{
+    b->prog.kernels[idx].deps.push_back(kernel_id);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::produces(std::uint32_t array_id)
+{
+    b->prog.kernels[idx].producesArrays.push_back(array_id);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::consumes(std::uint32_t array_id)
+{
+    b->prog.kernels[idx].consumesArrays.push_back(array_id);
+    return *this;
+}
+
 // -------------------------------------------------- ProgramBuilder
 
 ProgramBuilder::ProgramBuilder(std::string name, std::uint32_t cores,
@@ -192,16 +227,122 @@ ProgramBuilder::build() const
         if (a.bytes == 0)
             errs.push_back("array '" + a.name + "' has zero bytes");
 
+    // ---------------------------------------- phase-graph checks
+    const std::uint32_t nk =
+        static_cast<std::uint32_t>(prog.kernels.size());
+    bool edges_ok = true;
     for (const KernelDecl &k : prog.kernels) {
+        bool explicit_group = false;
+        for (std::uint32_t idx : explicitGroups)
+            explicit_group = explicit_group || idx == k.id;
+        if (explicit_group && k.group.count == 0) {
+            errs.push_back("kernel '" + k.name +
+                           "': empty core group (onCores count "
+                           "must be at least 1)");
+        } else if (!k.group.all() &&
+                   (k.group.first >= numCores ||
+                    k.group.first + k.group.count > numCores)) {
+            errs.push_back(
+                "kernel '" + k.name + "': core group [" +
+                std::to_string(k.group.first) + ", " +
+                std::to_string(k.group.first + k.group.count) +
+                ") exceeds the " + std::to_string(numCores) +
+                "-core machine");
+        }
+        for (std::uint32_t dep : k.deps) {
+            if (dep >= nk) {
+                errs.push_back("kernel '" + k.name +
+                               "' depends on undeclared kernel id " +
+                               std::to_string(dep));
+                edges_ok = false;
+            } else if (dep == k.id) {
+                errs.push_back("kernel '" + k.name +
+                               "' depends on itself");
+                edges_ok = false;
+            }
+        }
+        for (std::uint32_t a : k.producesArrays)
+            if (!arrayOf(a))
+                errs.push_back("kernel '" + k.name +
+                               "' produces undeclared array id " +
+                               std::to_string(a));
+        for (std::uint32_t a : k.consumesArrays)
+            if (!arrayOf(a))
+                errs.push_back("kernel '" + k.name +
+                               "' consumes undeclared array id " +
+                               std::to_string(a));
+    }
+
+    if (edges_ok && nk > 0) {
+        // reach[i][j]: a dependency path orders kernel i before j.
+        std::vector<std::vector<bool>> reach(
+            nk, std::vector<bool>(nk, false));
+        for (const KernelDecl &k : prog.kernels)
+            for (std::uint32_t dep : k.deps)
+                reach[dep][k.id] = true;
+        for (std::uint32_t m = 0; m < nk; ++m)
+            for (std::uint32_t i = 0; i < nk; ++i)
+                if (reach[i][m])
+                    for (std::uint32_t j = 0; j < nk; ++j)
+                        if (reach[m][j])
+                            reach[i][j] = true;
+
+        std::string cyc;
+        for (std::uint32_t i = 0; i < nk; ++i)
+            if (reach[i][i])
+                cyc += (cyc.empty() ? "" : ", ") +
+                       prog.kernels[i].name;
+        if (!cyc.empty())
+            errs.push_back("dependency cycle involving kernels: " +
+                           cyc);
+
+        const bool graph_explicit = phaseGraphExplicit(prog);
+        if (cyc.empty() && graph_explicit) {
+            // Unordered kernels sharing cores would race for them;
+            // flat programs are exempt (they lower to a chain).
+            for (std::uint32_t i = 0; i < nk; ++i)
+                for (std::uint32_t j = i + 1; j < nk; ++j)
+                    if (prog.kernels[i].group.overlaps(
+                            prog.kernels[j].group, numCores) &&
+                        !reach[i][j] && !reach[j][i])
+                        errs.push_back(
+                            "kernels '" + prog.kernels[i].name +
+                            "' and '" + prog.kernels[j].name +
+                            "' share cores but no dependency path "
+                            "orders them (add .after())");
+            // Consumers must be preceded by a producer of the array.
+            for (const KernelDecl &k : prog.kernels)
+                for (std::uint32_t a : k.consumesArrays) {
+                    bool any_producer = false, ordered = false;
+                    for (const KernelDecl &pk : prog.kernels)
+                        for (std::uint32_t pa : pk.producesArrays)
+                            if (pa == a && pk.id != k.id) {
+                                any_producer = true;
+                                ordered = ordered ||
+                                          reach[pk.id][k.id];
+                            }
+                    const ArrayDecl *ad = arrayOf(a);
+                    if (any_producer && !ordered && ad)
+                        errs.push_back(
+                            "kernel '" + k.name + "' consumes '" +
+                            ad->name + "' before any producer of "
+                            "it completes (add .after() on the "
+                            "producing kernel)");
+                }
+        }
+    }
+
+    for (const KernelDecl &k : prog.kernels) {
+        const std::uint32_t group_size = k.group.size(numCores);
         if (k.iterations == 0)
             errs.push_back("kernel '" + k.name +
                            "' has zero iterations");
-        else if (k.iterations % numCores != 0)
+        else if (group_size != 0 && k.iterations % group_size != 0)
             errs.push_back(
                 "kernel '" + k.name + "': " +
                 std::to_string(k.iterations) +
-                " iterations do not divide across " +
-                std::to_string(numCores) + " cores");
+                " iterations do not divide across its " +
+                std::to_string(group_size) + "-core group");
 
         // Mirror the compiler's SPM buffer selection (Compiler.cc
         // pass 3) so tiling problems surface here, with the array
@@ -288,7 +429,11 @@ ProgramBuilder::build() const
             msg += "\n  - " + e;
         fatal(msg);
     }
-    return prog;
+    // Flat programs lower to the degenerate chain graph so every
+    // built program is an explicit phase graph.
+    ProgramDecl out = prog;
+    ensurePhaseDeps(out);
+    return out;
 }
 
 } // namespace spmcoh

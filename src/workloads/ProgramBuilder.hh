@@ -64,6 +64,32 @@ class KernelBuilder
     KernelBuilder &stack(std::uint32_t array_id, bool write,
                          std::uint32_t per_iter);
 
+    /**
+     * Phase-graph authoring: run this kernel on cores
+     * [first, first + count) only. Iterations split across the
+     * group, and private-array sections are indexed by group rank,
+     * so disjoint groups hand sections to each other. Unset = all
+     * cores.
+     */
+    KernelBuilder &onCores(std::uint32_t first, std::uint32_t count);
+    KernelBuilder &onCores(const CoreGroup &g);
+
+    /** This kernel starts after kernel @p kernel_id completes. */
+    KernelBuilder &after(std::uint32_t kernel_id);
+
+    /** Data-flow hint: this kernel writes array @p array_id. */
+    KernelBuilder &produces(std::uint32_t array_id);
+
+    /**
+     * Data-flow hint: this kernel reads array @p array_id. build()
+     * rejects consumers with no producing predecessor
+     * (consumer-before-producer).
+     */
+    KernelBuilder &consumes(std::uint32_t array_id);
+
+    /** The auto-assigned kernel id (for .after() references). */
+    std::uint32_t id() const { return idx; }
+
   private:
     friend class ProgramBuilder;
     KernelBuilder(ProgramBuilder &b_, std::uint32_t kernel_idx)
@@ -127,10 +153,18 @@ class ProgramBuilder
     /**
      * Validate and return the program. Fatal listing every problem
      * found: no kernels, zero-byte arrays, kernels with zero
-     * iterations or iteration counts that do not divide across the
-     * cores, references to undeclared arrays, hot fractions outside
-     * [0, 1], and SPM-mapped sections that do not tile the SPM
-     * buffers the compiler would choose.
+     * iterations or iteration counts that do not divide across their
+     * core group, references to undeclared arrays, hot fractions
+     * outside [0, 1], SPM-mapped sections that do not tile the SPM
+     * buffers the compiler would choose, and phase-graph problems --
+     * dependency cycles, dangling or self edges, empty or
+     * out-of-machine core groups, kernels with overlapping groups
+     * that no dependency path orders, and consumers of a produced
+     * array with no producing predecessor.
+     *
+     * Flat programs (no phase-graph calls) are lowered to the
+     * degenerate chain graph: every kernel on all cores, chained in
+     * declaration order.
      */
     ProgramDecl build() const;
 
@@ -142,6 +176,8 @@ class ProgramBuilder
     std::uint32_t nextArray = 0;
     std::uint32_t nextRef = 0;
     std::uint32_t spmCapacity = 32 * 1024;
+    /** Kernels whose group was set explicitly (possibly empty). */
+    std::vector<std::uint32_t> explicitGroups;
 };
 
 /**

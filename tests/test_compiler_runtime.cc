@@ -152,7 +152,8 @@ std::vector<MicroOp>
 collect(const ProgramPlan &plan, const ProgramLayout &l, CoreId c,
         std::uint32_t cores, bool hybrid)
 {
-    ProgramSource src(plan, l, c, cores, hybrid, spmBytes);
+    const PhaseSchedule sched(plan.decl, cores);
+    ProgramSource src(plan, l, sched, c, cores, hybrid, spmBytes);
     std::vector<MicroOp> ops;
     MicroOp op;
     while (src.next(op))

@@ -98,7 +98,7 @@ TEST(ProgramBuilder, RejectsIterationsNotDividingAcrossCores)
         b.kernel("k", 6);
         b.build();
     });
-    EXPECT_NE(msg.find("do not divide across 4 cores"),
+    EXPECT_NE(msg.find("do not divide across its 4-core group"),
               std::string::npos);
 }
 
