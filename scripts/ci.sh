@@ -55,6 +55,31 @@ echo "== result regression check (stencil 8-core vs golden) =="
 python3 scripts/diff_results.py "$BUILD_DIR"/stencil8.json \
     tests/golden/stencil8_smoke.json
 
+echo "== protocol registry smoke (>=3 protocols) =="
+"$BUILD_DIR"/spmcoh_run --list-protocols \
+    > "$BUILD_DIR"/protocols.txt
+PROTOCOLS=$(grep -c '^[a-z]' "$BUILD_DIR"/protocols.txt)
+test "$PROTOCOLS" -ge 3 || {
+    echo "only $PROTOCOLS protocols registered"; exit 1; }
+grep -q '^spm-hybrid (default)' "$BUILD_DIR"/protocols.txt
+grep -q '^mesi' "$BUILD_DIR"/protocols.txt
+grep -q '^dragon' "$BUILD_DIR"/protocols.txt
+
+echo "== two-protocol sweep smoke test =="
+"$BUILD_DIR"/spmcoh_run --workload=contend --cores=8 --jobs=2 \
+    --protocol=spm-hybrid,dragon --format=json \
+    > "$BUILD_DIR"/protosweep.json
+# The non-default point must carry its protocol in spec and label.
+grep -q '"protocol":"dragon"' "$BUILD_DIR"/protosweep.json
+grep -q '"label":"contend/hybrid-proto/dragon/8c' \
+    "$BUILD_DIR"/protosweep.json
+
+echo "== result regression check (CG 8-core mesi vs golden) =="
+"$BUILD_DIR"/spmcoh_run --workload=CG --cores=8 --protocol=mesi \
+    --jobs=2 --format=json --no-stats > "$BUILD_DIR"/cg8mesi.json
+python3 scripts/diff_results.py "$BUILD_DIR"/cg8mesi.json \
+    tests/golden/cg8_mesi_smoke.json
+
 echo "== large-mesh smoke test (256 cores, 16x16) =="
 "$BUILD_DIR"/spmcoh_run --workload=CG --cores=256 --jobs=auto \
     --format=json > "$BUILD_DIR"/smoke256.json

@@ -16,9 +16,10 @@ CohController::CohController(MemNet &net_, CohFabric &fab_,
                              const AddressMap &amap_, Spm &spm_,
                              Dmac &dmac_, CoreId core_,
                              const CohParams &p_,
-                             const std::string &name)
+                             const std::string &name,
+                             const CoherenceProtocol &proto_)
     : net(net_), fab(fab_), amap(amap_), spm(spm_), dmac(dmac_),
-      core(core_), p(p_), spmDir(p_.spmDirEntries),
+      core(core_), proto(proto_), p(p_), spmDir(p_.spmDirEntries),
       filter(p_.filterEntries), stats(name),
       resolveLatency(stats.histogram(
           "resolveLatency", {8, 16, 32, 64, 128, 256, 512, 1024})),
@@ -121,23 +122,35 @@ CohController::probeGuarded(Addr addr, bool is_write)
         return GuardProbe{GuardProbe::Kind::Pending, 0, 0};
     }
 
-    // Parallel CAM lookups in the SPMDir and the filter (Fig. 5).
+    // Parallel CAM lookups in the SPMDir and the filter (Fig. 5);
+    // the outcome routes through the protocol's guard table.
+    using GuardEvent = CoherenceProtocol::GuardEvent;
     ++stats.counter("spmdirLookups");
     ++stats.counter("filterLookups");
+    GuardEvent ev = GuardEvent::BothMiss;
+    Addr spm_addr = 0;
     if (auto idx = spmDir.lookup(base)) {
         ++stats.counter("spmdirHits");
-        const Addr spm_addr = amap.localSpmBase(core) +
+        ev = GuardEvent::SpmDirHit;
+        spm_addr = amap.localSpmBase(core) +
             *idx * fab.config.bytes() + fab.config.offset(addr);
+    } else if (filter.lookup(base)) {
+        ++stats.counter("filterHits");
+        ev = GuardEvent::FilterHit;
+    } else {
+        ++stats.counter("filterMisses");
+    }
+    switch (proto.guardAction(ev)) {
+      case CoherenceProtocol::GuardAction::DivertLocalSpm:
         return GuardProbe{GuardProbe::Kind::LocalSpm, spm_addr,
                           p.lookupLatency + spm.accessLatency()};
-    }
-    if (filter.lookup(base)) {
+      case CoherenceProtocol::GuardAction::UseCacheHierarchy:
         // Filter hit: the lookup overlaps the TLB access, so the
         // cache path proceeds without extra latency (Sec. 3).
-        ++stats.counter("filterHits");
         return GuardProbe{GuardProbe::Kind::UseCache, 0, 0};
+      case CoherenceProtocol::GuardAction::ConsultDirectory:
+        break;
     }
-    ++stats.counter("filterMisses");
     return GuardProbe{GuardProbe::Kind::Pending, 0, 0};
 }
 

@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "cpu/CoreModel.hh"
+#include "protocols/ProtocolFactory.hh"
 #include "sim/Logging.hh"
 #include "system/Topology.hh"
 
@@ -61,6 +62,8 @@ cliUsage(const std::string &prog)
         "                    registered workload (required)\n"
         "  --mode=LIST       cache | hybrid-ideal | hybrid-proto\n"
         "                    (default: hybrid-proto)\n"
+        "  --protocol=LIST   coherence protocols (--list-protocols\n"
+        "                    for names; default: spm-hybrid)\n"
         "  --cores=LIST      core counts (default: 64); each count\n"
         "                    must tile a mesh (64, 128, 256, 512,\n"
         "                    1024, ..., up to 4096)\n"
@@ -86,6 +89,7 @@ cliUsage(const std::string &prog)
         "  --title=STR       report title (default: generated)\n"
         "  --no-stats        omit per-component stats from JSON\n"
         "  --list-workloads  print registered workload names\n"
+        "  --list-protocols  print registered coherence protocols\n"
         "  --help            this text\n";
 }
 
@@ -154,6 +158,8 @@ parseCli(const std::vector<std::string> &args,
             opt.help = true;
         } else if (arg == "--list-workloads") {
             opt.listWorkloads = true;
+        } else if (arg == "--list-protocols") {
+            opt.listProtocols = true;
         } else if (arg == "--no-stats") {
             opt.withStats = false;
         } else if ((v = flagValue(arg, "--workload"))) {
@@ -179,6 +185,16 @@ parseCli(const std::vector<std::string> &args,
                         "hybrid-ideal or hybrid-proto)");
                 else
                     opt.sweep.modes.push_back(*mode);
+            }
+        } else if ((v = flagValue(arg, "--protocol"))) {
+            for (const std::string &pn : splitList(*v)) {
+                if (!ProtocolFactory::global().contains(pn))
+                    errs.push_back(
+                        "unknown protocol '" + pn +
+                        "'; known protocols: " +
+                        ProtocolFactory::global().namesJoined());
+                else
+                    opt.sweep.protocols.push_back(pn);
             }
         } else if ((v = flagValue(arg, "--cores"))) {
             for (const std::string &c : splitList(*v)) {
@@ -284,7 +300,7 @@ parseCli(const std::vector<std::string> &args,
         }
     }
 
-    if (opt.help || opt.listWorkloads)
+    if (opt.help || opt.listWorkloads || opt.listProtocols)
         return opt;
 
     if (!sawWorkload)

@@ -35,6 +35,7 @@ struct CliOptions
     bool withStats = true;
     bool help = false;
     bool listWorkloads = false;
+    bool listProtocols = false;
 
     /** The title to report: --title, or one built from the axes. */
     std::string effectiveTitle() const;
@@ -50,8 +51,9 @@ std::string cliUsage(const std::string &prog);
  * Parse an spmcoh_run argument vector (argv[0] excluded). Throws
  * FatalError listing every problem found (unknown flags, bad
  * numbers, unknown workloads/modes/formats) when the invocation is
- * invalid. --workload is required unless --help or --list-workloads
- * is present; "--workload=all" expands to every registered name.
+ * invalid. --workload is required unless --help, --list-workloads
+ * or --list-protocols is present; "--workload=all" expands to every
+ * registered name.
  */
 CliOptions
 parseCli(const std::vector<std::string> &args,

@@ -1,7 +1,8 @@
 /**
  * @file
  * Umbrella header for the experiment driver API: workload registry,
- * experiment builder, sweep runner and result sinks.
+ * protocol factory, experiment builder, sweep runner and result
+ * sinks.
  */
 
 #ifndef SPMCOH_DRIVER_DRIVER_HH
@@ -12,5 +13,6 @@
 #include "driver/SweepRunner.hh"
 #include "driver/ThreadPool.hh"
 #include "driver/WorkloadRegistry.hh"
+#include "protocols/ProtocolFactory.hh"
 
 #endif // SPMCOH_DRIVER_DRIVER_HH

@@ -124,15 +124,19 @@ snapshotStats(const System &sys)
 SystemParams
 ExperimentSpec::resolvedParams() const
 {
-    if (!paramsOverride)
-        return SystemParams::forMode(mode, cores);
-    // The mode axis is always authoritative; the core count is NOT
-    // stamped onto an override, because the override's mesh and
-    // memory controller placement were derived for its own core
-    // count — validateExperiment rejects a mismatch instead of
+    if (!paramsOverride) {
+        SystemParams p = SystemParams::forMode(mode, cores);
+        p.protocol = protocol;
+        return p;
+    }
+    // The mode and protocol axes are always authoritative; the core
+    // count is NOT stamped onto an override, because the override's
+    // mesh and memory controller placement were derived for its own
+    // core count — validateExperiment rejects a mismatch instead of
     // constructing a mis-shaped system.
     SystemParams p = *paramsOverride;
     p.mode = mode;
+    p.protocol = protocol;
     return p;
 }
 
@@ -142,7 +146,10 @@ ExperimentSpec::label() const
     char buf[32];
     std::snprintf(buf, sizeof(buf), "/%uc/x%.2f", cores, scale);
     std::string out =
-        workload + "/" + systemModeName(mode) + buf;
+        workload + "/" + systemModeName(mode);
+    if (protocol != ProtocolFactory::defaultName())
+        out += "/" + protocol;
+    out += buf;
     if (!wparams.empty())
         out += "{" + wparams.render() + "}";
     if (!variant.empty())
@@ -165,6 +172,10 @@ validateExperiment(const ExperimentSpec &spec,
         errs.push_back("unknown workload '" + spec.workload +
                        "'; known workloads: " + reg.namesJoined());
     }
+    if (!ProtocolFactory::global().contains(spec.protocol))
+        errs.push_back("unknown protocol '" + spec.protocol +
+                       "'; known protocols: " +
+                       ProtocolFactory::global().namesJoined());
     const auto cores_err = Topology::checkCores(spec.cores);
     if (cores_err && !spec.paramsOverride)
         errs.push_back(*cores_err);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "driver/WorkloadRegistry.hh"
+#include "protocols/ProtocolFactory.hh"
 #include "runtime/ProgramSource.hh"
 #include "system/System.hh"
 
@@ -78,6 +79,8 @@ struct ExperimentSpec
 {
     std::string workload;
     SystemMode mode = SystemMode::HybridProto;
+    /** Coherence protocol name (ProtocolFactory key). */
+    std::string protocol = ProtocolFactory::defaultName();
     std::uint32_t cores = 64;
     double scale = 1.0;
     /**
@@ -105,7 +108,9 @@ struct ExperimentSpec
      */
     SystemParams resolvedParams() const;
 
-    /** "CG/hybrid-proto/64c/x1.00[{params}][+variant]" label. */
+    /** "CG/hybrid-proto[/protocol]/64c/x1.00[{params}][+variant]"
+     *  label; the protocol segment appears only when it is not the
+     *  default. */
     std::string label() const;
 };
 
@@ -167,6 +172,14 @@ class ExperimentBuilder
     mode(SystemMode m)
     {
         s.mode = m;
+        return *this;
+    }
+
+    /** Select the coherence protocol by factory name. */
+    ExperimentBuilder &
+    protocol(const std::string &name)
+    {
+        s.protocol = name;
         return *this;
     }
 

@@ -9,6 +9,7 @@
 
 #include "driver/Json.hh"
 #include "noc/Traffic.hh"
+#include "protocols/ProtocolFactory.hh"
 
 namespace spmcoh
 {
@@ -97,8 +98,8 @@ class CsvSink final : public ResultSink
     {
         if (!title.empty())
             os << "# " << title << '\n';
-        os << "workload,mode,cores,scale,wparams,variant,cycles,"
-              "controlCycles,syncCycles,workCycles";
+        os << "workload,mode,protocol,cores,scale,wparams,variant,"
+              "cycles,controlCycles,syncCycles,workCycles";
         for (std::size_t c = 0; c < numTrafficClasses; ++c)
             os << ',' << trafficClassName(
                 static_cast<TrafficClass>(c)) << "Packets";
@@ -123,6 +124,7 @@ class CsvSink final : public ResultSink
                 c = ';';
         os << r.spec.workload << ','
            << systemModeName(r.spec.mode) << ','
+           << r.spec.protocol << ','
            << r.spec.cores << ',' << r.spec.scale << ','
            << wp << ',' << r.spec.variant << ',' << rr.cycles << ','
            << rr.phaseCycles[0] << ',' << rr.phaseCycles[1] << ','
@@ -190,6 +192,10 @@ class JsonSink final : public ResultSink
             w.key(kv.first).value(kv.second);
         w.endObject();
         w.key("variant").value(r.spec.variant);
+        // Emitted only off the default so pre-protocol goldens stay
+        // byte-identical.
+        if (r.spec.protocol != ProtocolFactory::defaultName())
+            w.key("protocol").value(r.spec.protocol);
         w.key("label").value(r.spec.label());
         w.endObject();
 

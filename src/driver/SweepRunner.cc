@@ -56,11 +56,15 @@ SweepRunner::expand(const SweepSpec &sweep) const
     std::vector<WorkloadParams> ppoints = sweep.paramPoints;
     if (ppoints.empty())
         ppoints.push_back(WorkloadParams{});
+    std::vector<std::string> protocols = sweep.protocols;
+    if (protocols.empty())
+        protocols.push_back(ProtocolFactory::defaultName());
 
     std::vector<ExperimentSpec> specs;
     std::vector<std::string> errs;
     for (const std::string &w : sweep.workloads) {
         for (SystemMode m : sweep.modes) {
+          for (const std::string &proto : protocols) {
             for (std::uint32_t c : sweep.coreCounts) {
                 for (double s : sweep.scales) {
                   for (const WorkloadParams &wp : ppoints) {
@@ -68,6 +72,7 @@ SweepRunner::expand(const SweepSpec &sweep) const
                         ExperimentSpec e;
                         e.workload = w;
                         e.mode = m;
+                        e.protocol = proto;
                         e.cores = c;
                         e.scale = s;
                         e.wparams = wp;
@@ -91,6 +96,7 @@ SweepRunner::expand(const SweepSpec &sweep) const
                   }
                 }
             }
+          }
         }
     }
     if (!errs.empty()) {

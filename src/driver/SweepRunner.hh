@@ -42,6 +42,8 @@ struct SweepSpec
 {
     std::vector<std::string> workloads;
     std::vector<SystemMode> modes{SystemMode::HybridProto};
+    /** Coherence-protocol axis; empty = default protocol only. */
+    std::vector<std::string> protocols;
     std::vector<std::uint32_t> coreCounts{64};
     std::vector<double> scales{1.0};
     /** Workload-parameter points; empty = spec defaults only. */
@@ -127,10 +129,10 @@ class SweepRunner
 
     /**
      * Expand the cartesian product of @p sweep into validated
-     * specs, ordered workload-major (modes, cores, scales, workload
-     * parameters, variants vary fastest, in that nesting order).
-     * Fatal listing every validation problem when any point is
-     * invalid.
+     * specs, ordered workload-major (modes, protocols, cores,
+     * scales, workload parameters, variants vary fastest, in that
+     * nesting order). Fatal listing every validation problem when
+     * any point is invalid.
      */
     std::vector<ExperimentSpec> expand(const SweepSpec &sweep) const;
 

@@ -15,8 +15,9 @@ namespace spmcoh
 
 DirectorySlice::DirectorySlice(MemNet &net_, CoreId tile_,
                                const DirSliceParams &p_,
-                               const std::string &name)
-    : net(net_), tile(tile_), p(p_),
+                               const std::string &name,
+                               const CoherenceProtocol &proto_)
+    : net(net_), tile(tile_), proto(proto_), p(p_),
       l2(p_.l2SizeBytes / lineBytes / p_.l2Ways, p_.l2Ways,
          lineShift + log2i(net_.cores())),
       dir(p_.dirEntries / p_.dirWays, p_.dirWays,
@@ -52,6 +53,7 @@ DirectorySlice::handle(const Message &msg)
     switch (msg.type) {
       case MsgType::GetS:
       case MsgType::GetX:
+      case MsgType::UpdX:
       case MsgType::PutM:
       case MsgType::PutS:
       case MsgType::PutE:
@@ -67,6 +69,7 @@ DirectorySlice::handle(const Message &msg)
         break;
       case MsgType::InvAck:
       case MsgType::InvAckData:
+      case MsgType::UpdAck:
         onAck(msg);
         break;
       case MsgType::FwdAckData:
@@ -111,6 +114,7 @@ DirectorySlice::dispatch(Addr la)
     switch (t.req.type) {
       case MsgType::GetS:      handleGetS(la, t); break;
       case MsgType::GetX:      handleGetX(la, t); break;
+      case MsgType::UpdX:      handleUpdX(la, t); break;
       case MsgType::PutM:      handlePutM(la, t); break;
       case MsgType::PutS:
       case MsgType::PutE:      handlePutShared(la, t); break;
@@ -146,16 +150,18 @@ DirectorySlice::handleGetS(Addr la, Txn &t)
             DirEntry *e = dir.lookup(la);
             if (!e)
                 panic("DirectorySlice: entry vanished during GetS");
-            if (tx.dataDirty) {
+            if (tx.dataDirty && proto.ownerKeepsDirtyOnGetS()) {
                 // Owner keeps the dirty line: Excl -> Owned.
                 e->state = DirState::Owned;
                 e->sharers |= bit(r);
             } else if (e->state == DirState::Excl) {
-                // Owner was clean (E -> S); L2 caches the data.
+                // Owner downgraded (E/M -> S); the L2 slice absorbs
+                // the data, dirty when the protocol has no Owned
+                // state to park a dirty line in.
                 e->sharers = bit(e->owner) | bit(r);
                 e->owner = invalidCore;
                 e->state = DirState::Shared;
-                l2Insert(la, tx.data, false);
+                l2Insert(la, tx.data, tx.dataDirty);
             } else {
                 e->sharers |= bit(r);
             }
@@ -285,6 +291,65 @@ DirectorySlice::handleGetX(Addr la, Txn &t)
     };
     checkDone(la);
     return;
+}
+
+void
+DirectorySlice::handleUpdX(Addr la, Txn &t)
+{
+    ++stats.counter("updX");
+    const CoreId r = t.req.requestor;
+    const TrafficClass cls = t.req.cls;
+    DirEntry *de = dir.lookup(la);
+
+    if (!de || de->state == DirState::Excl) {
+        // Nobody to update: the line is untracked, or one exclusive
+        // holder owns it and migrating ownership (the GetX path) is
+        // strictly cheaper than an update round. The requestor gets
+        // DataM and applies its store locally.
+        handleGetX(la, t);
+        return;
+    }
+
+    // Shared: apply the write at the home slice and push the
+    // post-write line to every other sharer (Dragon-style).
+    std::uint64_t sharers = de->sharers;
+    if (de->owner != invalidCore) {
+        // Update-based tables have no Owned state; fold a stray
+        // owner into the sharer set defensively.
+        sharers |= bit(de->owner);
+        de->owner = invalidCore;
+    }
+    de->state = DirState::Shared;
+    de->sharers = sharers | bit(r);
+    t.onComplete = [this, la, r, cls] {
+        // Stage 1: line data is here; apply the word, refresh the
+        // L2 copy, and fan the update out.
+        Txn &tx = busy.at(la);
+        tx.data.writeN(lineOffset(tx.req.addr),
+                       static_cast<std::uint32_t>(tx.req.aux),
+                       tx.req.data.read64(0));
+        l2Insert(la, tx.data, true);
+        DirEntry *e = dir.lookup(la);
+        if (!e)
+            panic("DirectorySlice: entry vanished during UpdX");
+        std::uint64_t targets = e->sharers & ~bit(r);
+        for (CoreId c = 0; targets != 0; ++c, targets >>= 1) {
+            if (targets & 1) {
+                sendUpdate(c, la, r, tx.data, cls);
+                ++tx.pendingAcks;
+            }
+        }
+        // Stage 2: every UpdAck is in; hand the post-write line
+        // back to the writer, which stays Shared.
+        tx.onComplete = [this, la, r, cls] {
+            Txn &tx2 = busy.at(la);
+            respond(r, Endpoint::L1D, MsgType::UpdData, la, &tx2.data,
+                    cls);
+            tx2.awaitingUnblock = true;
+        };
+        checkDone(la);
+    };
+    fetchData(la, cls);
 }
 
 void
@@ -590,6 +655,21 @@ DirectorySlice::sendInv(CoreId target, Addr la, CoreId requestor,
     m.type = MsgType::Inv;
     m.addr = la;
     m.requestor = requestor;
+    m.cls = cls;
+    net.send(tile, Endpoint::L1D, target, m, cls);
+}
+
+void
+DirectorySlice::sendUpdate(CoreId target, Addr la, CoreId requestor,
+                           const LineData &d, TrafficClass cls)
+{
+    ++stats.counter("updatesSent");
+    Message m;
+    m.type = MsgType::Update;
+    m.addr = la;
+    m.requestor = requestor;
+    m.hasData = true;
+    m.data = d;
     m.cls = cls;
     net.send(tile, Endpoint::L1D, target, m, cls);
 }

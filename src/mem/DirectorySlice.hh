@@ -27,6 +27,7 @@
 #include "mem/CacheArray.hh"
 #include "mem/MemNet.hh"
 #include "mem/Messages.hh"
+#include "protocols/ProtocolFactory.hh"
 #include "sim/Stats.hh"
 
 namespace spmcoh
@@ -61,8 +62,12 @@ struct DirSliceParams
 class DirectorySlice
 {
   public:
+    /** @param proto_ protocol whose directory policy hooks drive
+     *  this slice (default: the registered default protocol). */
     DirectorySlice(MemNet &net_, CoreId tile_, const DirSliceParams &p_,
-                   const std::string &name);
+                   const std::string &name,
+                   const CoherenceProtocol &proto_ =
+                       ProtocolFactory::defaultProtocol());
 
     /** MemNet delivery entry point. */
     void handle(const Message &msg);
@@ -123,6 +128,7 @@ class DirectorySlice
 
     void handleGetS(Addr la, Txn &t);
     void handleGetX(Addr la, Txn &t);
+    void handleUpdX(Addr la, Txn &t);
     void handlePutM(Addr la, Txn &t);
     void handlePutShared(Addr la, Txn &t);
     void handleIfetch(Addr la, Txn &t);
@@ -152,6 +158,9 @@ class DirectorySlice
 
     void sendInv(CoreId target, Addr la, CoreId requestor,
                  TrafficClass cls);
+    /** Push the post-write line to a sharer (update-based). */
+    void sendUpdate(CoreId target, Addr la, CoreId requestor,
+                    const LineData &d, TrafficClass cls);
     void respond(CoreId core, Endpoint ep, MsgType t, Addr la,
                  const LineData *d, TrafficClass cls,
                  std::uint64_t aux = 0);
@@ -161,6 +170,7 @@ class DirectorySlice
 
     MemNet &net;
     CoreId tile;
+    const CoherenceProtocol &proto;
     DirSliceParams p;
     CacheArray<L2Line> l2;
     CacheArray<DirEntry> dir;

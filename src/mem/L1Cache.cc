@@ -17,8 +17,9 @@ static const unsigned long long trace_line =
     trace_env ? std::stoull(trace_env, nullptr, 0) : 0;
 
 L1Cache::L1Cache(MemNet &net_, CoreId core_, bool icache_,
-                 const L1Params &p_, const std::string &name)
-    : net(net_), core(core_), icache(icache_), p(p_),
+                 const L1Params &p_, const std::string &name,
+                 const CoherenceProtocol &proto_)
+    : net(net_), core(core_), icache(icache_), proto(proto_), p(p_),
       array(p_.sizeBytes / lineBytes / p_.ways, p_.ways),
       mshr(p_.mshrs),
       prefetcher(icache_ ? PrefetcherParams{.enabled = false}
@@ -56,9 +57,8 @@ L1Cache::tryAccess(Addr addr, std::uint8_t size, bool is_write,
     trainPrefetcher(ref_id, addr, at);
     if (!line)
         return std::nullopt;
-    if (is_write &&
-        (line->state == L1State::S || line->state == L1State::O)) {
-        // Needs an upgrade; handled on the async path.
+    if (is_write && !proto.storeHits(pstateOf(line->state))) {
+        // Needs an upgrade (or an update round); async path.
         return std::nullopt;
     }
     if (line->prefetched && !line->used) {
@@ -101,8 +101,7 @@ L1Cache::startAccess(Addr addr, std::uint8_t size, bool is_write,
     // complete inline without re-counting the access.
     (void)ref_id;
     if (Line *line = array.lookup(addr)) {
-        const bool writable = line->state == L1State::E ||
-                              line->state == L1State::M;
+        const bool writable = proto.storeHits(pstateOf(line->state));
         if (!is_write || writable) {
             std::uint64_t v = 0;
             if (is_write) {
@@ -151,16 +150,22 @@ L1Cache::startAccess(Addr addr, std::uint8_t size, bool is_write,
     if (icache) {
         sendToDir(MsgType::IfetchGet, la, TrafficClass::Ifetch);
     } else if (is_write) {
-        // An upgrade from O must ship the dirty line with the GetX so
-        // the directory holds authoritative data even if we evict the
-        // line while the upgrade is in flight.
         const Line *resident = array.peek(la);
-        const bool dirty_upgrade =
-            resident && resident->state == L1State::O;
-        sendToDir(MsgType::GetX, la, TrafficClass::Write,
-                  dirty_upgrade, dirty_upgrade ? &resident->data
-                                               : nullptr,
-                  dirty_upgrade);
+        const PState st =
+            resident ? pstateOf(resident->state) : PState::I;
+        if (proto.storeRequest(st) == MsgType::UpdX) {
+            sendUpdX(la, e.targets.front());
+        } else {
+            // An upgrade from O must ship the dirty line with the
+            // GetX so the directory holds authoritative data even if
+            // we evict the line while the upgrade is in flight.
+            const bool dirty_upgrade =
+                resident && resident->state == L1State::O;
+            sendToDir(MsgType::GetX, la, TrafficClass::Write,
+                      dirty_upgrade, dirty_upgrade ? &resident->data
+                                                   : nullptr,
+                      dirty_upgrade);
+        }
     } else {
         sendToDir(MsgType::GetS, la, TrafficClass::Read);
     }
@@ -212,7 +217,11 @@ L1Cache::handle(const Message &msg)
       case MsgType::DataS:
       case MsgType::DataE:
       case MsgType::DataM:
+      case MsgType::UpdData:
         onFill(msg);
+        break;
+      case MsgType::Update:
+        onUpdate(msg);
         break;
       case MsgType::PutAck: {
         auto it = wbBuffer.find(lineAlign(msg.addr));
@@ -251,6 +260,13 @@ L1Cache::onFill(const Message &msg)
     // queues behind the unblock on the same path.
     sendToDir(MsgType::Unblock, la, msg.cls);
     if (Line *resident = array.lookup(la)) {
+        if (msg.type == MsgType::UpdData) {
+            // Update round done: the home slice applied our store
+            // and pushed the line to the sharers; we stay Shared.
+            resident->data = msg.data;
+            processTargets(la, true);
+            return;
+        }
         // Upgrade completion: the line stayed resident (S/O) while
         // GetX was in flight and DataM carries authoritative data.
         if (msg.type != MsgType::DataM)
@@ -272,11 +288,11 @@ L1Cache::onFill(const Message &msg)
     installLine(la, st, msg.data, e->isPrefetch);
     if (e->isPrefetch)
         --prefetchesInFlight;
-    processTargets(la);
+    processTargets(la, msg.type == MsgType::UpdData);
 }
 
 void
-L1Cache::processTargets(Addr line_addr)
+L1Cache::processTargets(Addr line_addr, bool first_write_done)
 {
     MshrEntry e = mshr.release(line_addr);
     sampleMshrOccupancy();
@@ -287,10 +303,18 @@ L1Cache::processTargets(Addr line_addr)
     while (!e.targets.empty()) {
         MshrTarget &t = e.targets.front();
         if (t.isWrite) {
-            if (line->state == L1State::S ||
-                line->state == L1State::O) {
-                // Need write permission: re-issue as an upgrade and
-                // keep the remaining targets buffered.
+            if (first_write_done) {
+                // The home slice already applied this store as part
+                // of the update round that produced the fill.
+                first_write_done = false;
+                if (t.onDone)
+                    t.onDone(0);
+                e.targets.pop_front();
+                continue;
+            }
+            if (!proto.storeHits(pstateOf(line->state))) {
+                // Need write permission (or another update round):
+                // re-issue and keep the remaining targets buffered.
                 MshrEntry &ne = mshr.alloc(line_addr);
                 sampleMshrOccupancy();
                 ne.wantExclusive = true;
@@ -298,8 +322,13 @@ L1Cache::processTargets(Addr line_addr)
                 ne.issued = true;
                 ne.targets = std::move(e.targets);
                 ++stats.counter("upgrades");
-                sendToDir(MsgType::GetX, line_addr,
-                          TrafficClass::Write);
+                if (proto.storeRequest(pstateOf(line->state)) ==
+                    MsgType::UpdX) {
+                    sendUpdX(line_addr, ne.targets.front());
+                } else {
+                    sendToDir(MsgType::GetX, line_addr,
+                              TrafficClass::Write);
+                }
                 return;
             }
             line->state = L1State::M;
@@ -343,20 +372,17 @@ L1Cache::evict(Addr line_addr, Line &&victim)
         ++stats.counter("wastedPrefetches");
     if (icache)
         return;     // untracked read-only lines vanish silently
-    const bool dirty =
-        victim.state == L1State::M || victim.state == L1State::O;
+    const MsgType put = proto.replacement(pstateOf(victim.state));
     WbEntry &wb = wbBuffer[line_addr];
     wb.state = victim.state;
     wb.data = victim.data;
     ++wb.pendingPuts;
-    if (dirty) {
+    if (put == MsgType::PutM) {
         ++stats.counter("dirtyWritebacks");
         sendToDir(MsgType::PutM, line_addr, TrafficClass::WbRepl, true,
                   &victim.data, true);
-    } else if (victim.state == L1State::E) {
-        sendToDir(MsgType::PutE, line_addr, TrafficClass::WbRepl);
     } else {
-        sendToDir(MsgType::PutS, line_addr, TrafficClass::WbRepl);
+        sendToDir(put, line_addr, TrafficClass::WbRepl);
     }
 }
 
@@ -375,7 +401,8 @@ L1Cache::onFwd(const Message &msg)
         if (is_getx) {
             array.invalidate(la);
         } else {
-            line->state = dirty ? L1State::O : L1State::S;
+            line->state =
+                l1stateOf(proto.afterFwdGetS(pstateOf(line->state)));
         }
     } else if (auto it = wbBuffer.find(la); it != wbBuffer.end()) {
         // Eviction raced with the forward: serve from the buffer.
@@ -431,6 +458,48 @@ L1Cache::onInv(const Message &msg)
         resp.data = data;
     resp.cls = msg.cls;
     net.send(core, Endpoint::Dir, net.homeSlice(la), resp, msg.cls);
+}
+
+void
+L1Cache::onUpdate(const Message &msg)
+{
+    const Addr la = lineAlign(msg.addr);
+    ++stats.counter("updatesReceived");
+    if (Line *line = array.lookup(la)) {
+        const Transition &t =
+            proto.transition(pstateOf(line->state), PEvent::Update);
+        if (t.has(PAction::Apply))
+            line->data = msg.data;
+        line->state = l1stateOf(t.next);
+    } else if (auto it = wbBuffer.find(la); it != wbBuffer.end()) {
+        // Eviction raced with the update: patch the buffered copy so
+        // a forward served from it still sees the latest data.
+        it->second.data = msg.data;
+    } else {
+        ++stats.counter("staleUpdates");
+    }
+    Message resp;
+    resp.type = MsgType::UpdAck;
+    resp.addr = la;
+    resp.requestor = msg.requestor;
+    resp.cls = msg.cls;
+    net.send(core, Endpoint::Dir, net.homeSlice(la), resp, msg.cls);
+}
+
+void
+L1Cache::sendUpdX(Addr line_addr, const MshrTarget &t)
+{
+    ++stats.counter("updXSent");
+    Message m;
+    m.type = MsgType::UpdX;
+    m.addr = t.addr;    // exact address: the slice applies the word
+    m.requestor = core;
+    m.hasData = true;
+    m.aux = t.size;
+    m.data.write64(0, t.wdata);
+    m.cls = TrafficClass::Write;
+    net.send(core, Endpoint::Dir, net.homeSlice(line_addr), m,
+             TrafficClass::Write);
 }
 
 void

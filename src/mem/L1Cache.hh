@@ -3,11 +3,15 @@
  * L1 cache controller (data or instruction).
  *
  * Timing/coherence model:
- *  - Loads that hit (any valid MOESI state) and stores that hit in
- *    E/M complete synchronously through tryLoad/tryStore, so the core
- *    can consume long hit runs without event-queue round trips.
- *  - Everything else (misses, upgrades) allocates an MSHR and drives
- *    a blocking-directory MOESI transaction over the mesh.
+ *  - Loads that hit (any valid stable state) and stores the protocol
+ *    table marks as hits complete synchronously through
+ *    tryLoad/tryStore, so the core can consume long hit runs without
+ *    event-queue round trips.
+ *  - Everything else (misses, upgrades, update-based stores)
+ *    allocates an MSHR and drives a blocking-directory transaction
+ *    over the mesh; which request is issued and how forwards and
+ *    replacements transition is looked up in the CoherenceProtocol
+ *    the cache was built with (src/protocols/).
  *  - Evicted lines sit in a writeback buffer until the directory
  *    acknowledges the Put, and still service forwards/invalidations,
  *    which closes the classic eviction/forward race.
@@ -30,13 +34,41 @@
 #include "mem/Messages.hh"
 #include "mem/Mshr.hh"
 #include "mem/StridePrefetcher.hh"
+#include "protocols/ProtocolFactory.hh"
 #include "sim/Stats.hh"
 
 namespace spmcoh
 {
 
-/** MOESI stable states tracked at the L1. */
+/** Stable states tracked at the L1 (O only under MOESI tables). */
 enum class L1State : std::uint8_t { S, E, O, M };
+
+/** L1State -> protocol state (I is "not resident", never stored). */
+inline PState
+pstateOf(L1State s)
+{
+    switch (s) {
+      case L1State::S: return PState::S;
+      case L1State::E: return PState::E;
+      case L1State::O: return PState::O;
+      case L1State::M: return PState::M;
+    }
+    return PState::I;
+}
+
+/** Protocol state -> L1State; fatal for I (nothing to store). */
+inline L1State
+l1stateOf(PState s)
+{
+    switch (s) {
+      case PState::S: return L1State::S;
+      case PState::E: return L1State::E;
+      case PState::O: return L1State::O;
+      case PState::M: return L1State::M;
+      case PState::I: break;
+    }
+    fatal("l1stateOf: protocol state I is not a resident state");
+}
 
 /** L1 configuration (Table 1 defaults). */
 struct L1Params
@@ -53,8 +85,12 @@ struct L1Params
 class L1Cache
 {
   public:
+    /** @param proto_ protocol table driving this cache's
+     *  transitions (default: the registered default protocol). */
     L1Cache(MemNet &net_, CoreId core_, bool icache_,
-            const L1Params &p_, const std::string &name);
+            const L1Params &p_, const std::string &name,
+            const CoherenceProtocol &proto_ =
+                ProtocolFactory::defaultProtocol());
 
     /**
      * Synchronous load: completes iff the line is resident.
@@ -67,7 +103,7 @@ class L1Cache
 
     /**
      * Synchronous store: completes iff the line is resident with
-     * write permission (E or M).
+     * write permission per the protocol table (E or M classically).
      * @return true if performed
      */
     bool
@@ -148,14 +184,20 @@ class L1Cache
     void onFill(const Message &msg);
     void onFwd(const Message &msg);
     void onInv(const Message &msg);
+    void onUpdate(const Message &msg);
     void onDmaFwd(const Message &msg);
-    void processTargets(Addr line_addr);
+    /** @param first_write_done the leading write target was already
+     *  applied at the directory (update-based UpdData fill). */
+    void processTargets(Addr line_addr,
+                        bool first_write_done = false);
     void installLine(Addr line_addr, L1State st, const LineData &d,
                      bool prefetch_fill);
     void evict(Addr line_addr, Line &&victim);
     void sendToDir(MsgType t, Addr line_addr, TrafficClass cls,
                    bool has_data = false, const LineData *d = nullptr,
                    bool dirty = false, bool is_prefetch = false);
+    /** Ship one store word to the home slice (update-based). */
+    void sendUpdX(Addr line_addr, const MshrTarget &t);
     void trainPrefetcher(std::uint32_t ref_id, Addr addr, Tick at);
     void notifyMshrFree();
     /** Record the post-transition MSHR file occupancy. */
@@ -164,6 +206,7 @@ class L1Cache
     MemNet &net;
     CoreId core;
     bool icache;
+    const CoherenceProtocol &proto;
     L1Params p;
     CacheArray<Line> array;
     MshrFile mshr;

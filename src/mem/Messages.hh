@@ -111,6 +111,13 @@ enum class MsgType : std::uint8_t
     MemReadResp,   ///< fetched line (data)
     MemWriteAck,   ///< writeback acknowledged
 
+    // Update-based protocols (Dragon): stores to shared lines are
+    // applied at the home slice and pushed to the sharers.
+    UpdX,          ///< L1 -> Dir: write-update request (word enclosed)
+    Update,        ///< Dir -> sharer: post-write line (data)
+    UpdAck,        ///< sharer -> Dir: update applied
+    UpdData,       ///< Dir -> writer: post-write line, stays Shared
+
     // DMAC <-> Dir (coherent DMA, Sec. 2.1)
     DmaRead,       ///< dma-get line request
     DmaWrite,      ///< dma-put line (data); invalidates cached copies

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Pluggable coherence-protocol interface (ROADMAP "protocol arena").
+ *
+ * A CoherenceProtocol is a table-driven state machine: the cache
+ * controllers look transitions up as (state, event) -> {next state,
+ * actions} instead of hard-coding one protocol's casuistic, and the
+ * directory consults policy hooks for the decisions that differ
+ * between protocol families (does a dirty owner keep the line in O
+ * when a reader arrives? are stores to shared lines update-based or
+ * invalidation-based?). The SPM guarded-access dispatch of Fig. 5 is
+ * expressed as a second, tiny table so the CohController routes its
+ * casuistic through the same object.
+ *
+ * Concrete protocols (the default MOESI directory machine that
+ * matches the paper's hybrid system, plain MESI without
+ * owner-forwarding, and an update-based Dragon variant) are built
+ * and registered by ProtocolFactory.
+ */
+
+#ifndef SPMCOH_PROTOCOLS_COHERENCEPROTOCOL_HH
+#define SPMCOH_PROTOCOLS_COHERENCEPROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/Messages.hh"
+#include "sim/Logging.hh"
+
+namespace spmcoh
+{
+
+/** Protocol-level stable states (I = not present in the cache). */
+enum class PState : std::uint8_t { I, S, E, O, M };
+constexpr std::size_t numPStates = 5;
+
+/** Events a cache-side controller consults the table for. */
+enum class PEvent : std::uint8_t
+{
+    Load,     ///< core load to the line
+    Store,    ///< core store to the line
+    FwdGetS,  ///< directory forwards a remote read to us
+    FwdGetX,  ///< directory forwards a remote write to us
+    Inv,      ///< directory invalidates our copy
+    Update,   ///< directory pushes a written line (update-based)
+    Replace,  ///< we evict the line
+};
+constexpr std::size_t numPEvents = 7;
+
+/** Actions attached to a transition (at most two per edge). */
+enum class PAction : std::uint8_t
+{
+    None,
+    Hit,        ///< access completes locally
+    IssueGetS,  ///< request the line for reading
+    IssueGetX,  ///< request write ownership (invalidation-based)
+    IssueUpdX,  ///< ship the store to the directory (update-based)
+    SendData,   ///< hand our copy back through the directory
+    Apply,      ///< overwrite our copy with the pushed line
+    PutDirty,   ///< replacement writes the line back (PutM)
+    PutClean,   ///< replacement notifies a clean exclusive (PutE)
+    PutShared,  ///< replacement notifies a clean shared (PutS)
+};
+
+/** One edge of the protocol state machine. */
+struct Transition
+{
+    bool legal = false;
+    PState next = PState::I;
+    PAction actions[2] = {PAction::None, PAction::None};
+
+    bool
+    has(PAction a) const
+    {
+        return actions[0] == a || actions[1] == a;
+    }
+};
+
+const char *pstateName(PState s);
+const char *peventName(PEvent e);
+
+/**
+ * Abstract coherence protocol: a transition table plus the directory
+ * policy hooks that distinguish protocol families. Instances are
+ * immutable after construction and shared by every controller in a
+ * System, so all methods are const and thread-safe.
+ */
+class CoherenceProtocol
+{
+  public:
+    CoherenceProtocol(std::string name, std::string description)
+        : nm(std::move(name)), desc(std::move(description))
+    {}
+
+    virtual ~CoherenceProtocol() = default;
+
+    const std::string &name() const { return nm; }
+    const std::string &description() const { return desc; }
+
+    /** The (state, event) edge; fatal when the edge is illegal. */
+    const Transition &
+    transition(PState s, PEvent e) const
+    {
+        const Transition &t =
+            tbl[static_cast<std::size_t>(s)][static_cast<std::size_t>(e)];
+        if (!t.legal)
+            fatal("protocol '" + nm + "': illegal transition (" +
+                  pstateName(s) + ", " + peventName(e) + ")");
+        return t;
+    }
+
+    /** True when a load in @p s completes without a transaction. */
+    bool
+    loadHits(PState s) const
+    {
+        return transition(s, PEvent::Load).has(PAction::Hit);
+    }
+
+    /** True when a store in @p s completes without a transaction. */
+    bool
+    storeHits(PState s) const
+    {
+        return transition(s, PEvent::Store).has(PAction::Hit);
+    }
+
+    /** Request opcode a store from @p s must issue (GetX or UpdX). */
+    MsgType
+    storeRequest(PState s) const
+    {
+        const Transition &t = transition(s, PEvent::Store);
+        if (t.has(PAction::IssueUpdX))
+            return MsgType::UpdX;
+        if (t.has(PAction::IssueGetX))
+            return MsgType::GetX;
+        fatal("protocol '" + nm + "': store in state " +
+              pstateName(s) + " issues no request");
+    }
+
+    /** Our state after serving a forwarded read. */
+    PState
+    afterFwdGetS(PState s) const
+    {
+        return transition(s, PEvent::FwdGetS).next;
+    }
+
+    /** Put opcode for replacing a line held in @p s. */
+    MsgType
+    replacement(PState s) const
+    {
+        const Transition &t = transition(s, PEvent::Replace);
+        if (t.has(PAction::PutDirty))
+            return MsgType::PutM;
+        if (t.has(PAction::PutClean))
+            return MsgType::PutE;
+        return MsgType::PutS;
+    }
+
+    /** States whose data differs from memory (needs writeback). */
+    static bool
+    dirtyState(PState s)
+    {
+        return s == PState::O || s == PState::M;
+    }
+
+    // ---------------------------------------- directory policy hooks
+
+    /**
+     * MOESI owner-forwarding: a dirty owner answering a GetS keeps
+     * the line (Excl -> Owned at the directory). Protocols without
+     * an Owned state downgrade the owner to S and push the dirty
+     * data into the L2 slice instead.
+     */
+    virtual bool ownerKeepsDirtyOnGetS() const = 0;
+
+    /**
+     * Update-based writes (Dragon): stores to shared lines are
+     * applied at the directory and pushed to the sharers instead of
+     * invalidating them.
+     */
+    virtual bool updateBased() const = 0;
+
+    // ------------------------- SPM guarded-access dispatch (Fig. 5)
+
+    /** Outcome of the parallel SPMDir + filter CAM lookup. */
+    enum class GuardEvent : std::uint8_t
+    {
+        SpmDirHit,  ///< chunk mapped in the local SPM
+        FilterHit,  ///< chunk known unmapped chip-wide
+        BothMiss,   ///< unknown: the FilterDir must be consulted
+    };
+
+    /** Where the guarded access proceeds. */
+    enum class GuardAction : std::uint8_t
+    {
+        DivertLocalSpm,    ///< Fig. 5b: serve from the local SPM
+        UseCacheHierarchy, ///< Fig. 5a: plain cache access
+        ConsultDirectory,  ///< Fig. 5c/5d: ask the home FilterDir
+    };
+
+    GuardAction
+    guardAction(GuardEvent e) const
+    {
+        return guard[static_cast<std::size_t>(e)];
+    }
+
+  protected:
+    /** Install one edge (builder-side, during construction only). */
+    void
+    set(PState s, PEvent e, PState next, PAction a0,
+        PAction a1 = PAction::None)
+    {
+        Transition &t =
+            tbl[static_cast<std::size_t>(s)][static_cast<std::size_t>(e)];
+        t.legal = true;
+        t.next = next;
+        t.actions[0] = a0;
+        t.actions[1] = a1;
+    }
+
+    /** Fig. 5 dispatch shared by every registered protocol today. */
+    GuardAction guard[3] = {GuardAction::DivertLocalSpm,
+                            GuardAction::UseCacheHierarchy,
+                            GuardAction::ConsultDirectory};
+
+  private:
+    std::string nm;
+    std::string desc;
+    Transition tbl[numPStates][numPEvents];
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_PROTOCOLS_COHERENCEPROTOCOL_HH

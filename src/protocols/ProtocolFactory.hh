@@ -1,0 +1,62 @@
+/**
+ * @file
+ * String-keyed coherence-protocol registry, mirroring the
+ * WorkloadRegistry idiom: experiments name their protocol
+ * ("spm-hybrid", "mesi", "dragon") instead of hard-coding one state
+ * machine at every controller. The global() factory comes
+ * pre-populated with the built-in protocols; tests can register
+ * their own.
+ */
+
+#ifndef SPMCOH_PROTOCOLS_PROTOCOLFACTORY_HH
+#define SPMCOH_PROTOCOLS_PROTOCOLFACTORY_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocols/CoherenceProtocol.hh"
+
+namespace spmcoh
+{
+
+class ProtocolFactory
+{
+  public:
+    /** An empty factory (for custom protocol sets). */
+    ProtocolFactory() = default;
+
+    /** The process-wide factory with the built-in protocols. */
+    static ProtocolFactory &global();
+
+    /** Name of the default protocol ("spm-hybrid"). */
+    static const std::string &defaultName();
+
+    /** The default protocol instance from the global factory. */
+    static const CoherenceProtocol &defaultProtocol();
+
+    /** Register @p proto; fatal on duplicates or null. */
+    void add(std::unique_ptr<CoherenceProtocol> proto);
+
+    bool contains(const std::string &name) const;
+
+    /** The protocol registered under @p name, or null. */
+    const CoherenceProtocol *find(const std::string &name) const;
+
+    /** The protocol registered under @p name; fatal when unknown. */
+    const CoherenceProtocol &get(const std::string &name) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** "a, b, c" rendering of names() for error messages. */
+    std::string namesJoined() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<CoherenceProtocol>> protos;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_PROTOCOLS_PROTOCOLFACTORY_HH

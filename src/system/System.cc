@@ -43,6 +43,11 @@ System::System(const SystemParams &p_)
 
     net = std::make_unique<MemNet>(eq, noc, p.numCores, p.mcTiles);
 
+    // Fatal here (with the known-protocol list) rather than deep in
+    // a controller when the name is mistyped.
+    const CoherenceProtocol &proto =
+        ProtocolFactory::global().get(p.protocol);
+
     for (std::uint32_t i = 0; i < p.mcTiles.size(); ++i) {
         mcs.push_back(std::make_unique<MemCtrl>(
             eq, *net, mem, i, p.mcTiles[i], p.mc));
@@ -55,7 +60,7 @@ System::System(const SystemParams &p_)
         const std::string id = std::to_string(i);
 
         dirs.push_back(std::make_unique<DirectorySlice>(
-            *net, i, p.dir, "dir" + id));
+            *net, i, p.dir, "dir" + id, proto));
         DirectorySlice *dir = dirs.back().get();
         net->setHandler(Endpoint::Dir, i,
                         [dir](const Message &m) { dir->handle(m); });
@@ -70,7 +75,7 @@ System::System(const SystemParams &p_)
 
         cohs.push_back(std::make_unique<CohController>(
             *net, fabric, amap, *spms.back(), *dmacs.back(), i, p.coh,
-            "coh" + id));
+            "coh" + id, proto));
         CohController *coh = cohs.back().get();
         net->setHandler(Endpoint::Coh, i,
                         [coh](const Message &m) { coh->handle(m); });
@@ -82,7 +87,7 @@ System::System(const SystemParams &p_)
                         [fs](const Message &m) { fs->handle(m); });
 
         l1ds.push_back(std::make_unique<L1Cache>(
-            *net, i, false, p.l1d, "l1d" + id));
+            *net, i, false, p.l1d, "l1d" + id, proto));
         L1Cache *l1d = l1ds.back().get();
         net->setHandler(Endpoint::L1D, i,
                         [l1d](const Message &m) { l1d->handle(m); });
@@ -90,7 +95,7 @@ System::System(const SystemParams &p_)
         L1Params l1i_params = p.l1i;
         l1i_params.prefetcher.enabled = false;
         l1is.push_back(std::make_unique<L1Cache>(
-            *net, i, true, l1i_params, "l1i" + id));
+            *net, i, true, l1i_params, "l1i" + id, proto));
         L1Cache *l1i = l1is.back().get();
         net->setHandler(Endpoint::L1I, i,
                         [l1i](const Message &m) { l1i->handle(m); });

@@ -29,6 +29,7 @@
 #include "mem/MemNet.hh"
 #include "mem/Tlb.hh"
 #include "noc/Mesh.hh"
+#include "protocols/ProtocolFactory.hh"
 #include "spm/AddressMap.hh"
 #include "spm/Dmac.hh"
 #include "spm/Spm.hh"
@@ -43,6 +44,8 @@ struct SystemParams
 {
     std::uint32_t numCores = 64;
     SystemMode mode = SystemMode::HybridProto;
+    /** Coherence protocol name resolved via ProtocolFactory. */
+    std::string protocol = ProtocolFactory::defaultName();
 
     MeshParams mesh{};                 ///< 8x8, 1-cycle link/router
     L1Params l1d{};                    ///< 32KB 4-way, prefetcher

@@ -74,6 +74,17 @@ main(int argc, char **argv)
             }
             return 0;
         }
+        if (opt.listProtocols) {
+            const ProtocolFactory &pf = ProtocolFactory::global();
+            for (const std::string &n : pf.names()) {
+                const CoherenceProtocol &cp = pf.get(n);
+                std::printf("%s%s - %s\n", n.c_str(),
+                            n == ProtocolFactory::defaultName()
+                                ? " (default)" : "",
+                            cp.description().c_str());
+            }
+            return 0;
+        }
 
         std::ofstream file;
         if (!opt.outFile.empty()) {

@@ -545,12 +545,12 @@ TEST(ResultSink, CsvHasHeaderAndOneRowPerResult)
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(line, "# csv");
     ASSERT_TRUE(std::getline(is, line));
-    EXPECT_NE(line.find("workload,mode,cores"), std::string::npos);
+    EXPECT_NE(line.find("workload,mode,protocol,cores"), std::string::npos);
     const std::size_t header_cols =
         static_cast<std::size_t>(
             std::count(line.begin(), line.end(), ',')) + 1;
     ASSERT_TRUE(std::getline(is, line));
-    EXPECT_NE(line.find("EP,cache,4,"), std::string::npos);
+    EXPECT_NE(line.find("EP,cache,spm-hybrid,4,"), std::string::npos);
     const std::size_t row_cols =
         static_cast<std::size_t>(
             std::count(line.begin(), line.end(), ',')) + 1;

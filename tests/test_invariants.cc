@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "driver/Experiment.hh"
+#include "protocols/ProtocolFactory.hh"
 #include "workloads/NasBenchmarks.hh"
 
 namespace spmcoh
@@ -30,6 +31,7 @@ struct Cfg
 {
     NasBench bench;
     SystemMode mode;
+    std::string protocol;
 };
 
 std::string
@@ -39,7 +41,11 @@ cfgName(const ::testing::TestParamInfo<Cfg> &info)
         info.param.mode == SystemMode::CacheOnly ? "Cache"
         : info.param.mode == SystemMode::HybridIdeal ? "Ideal"
                                                      : "Proto";
-    return std::string(nasBenchName(info.param.bench)) + m;
+    std::string p = info.param.protocol;
+    for (char &c : p)
+        if (c == '-')
+            c = '_';
+    return std::string(nasBenchName(info.param.bench)) + m + "_" + p;
 }
 
 class Matrix : public ::testing::TestWithParam<Cfg>
@@ -53,6 +59,7 @@ TEST_P(Matrix, AccountingInvariantsHold)
 {
     const Cfg cfg = GetParam();
     SystemParams sp = SystemParams::forMode(cfg.mode, cores);
+    sp.protocol = cfg.protocol;
     System sys(sp);
     const ProgramDecl prog =
         buildNasBenchmark(cfg.bench, cores, scale);
@@ -132,6 +139,7 @@ TEST_P(Matrix, Deterministic)
     const Cfg cfg = GetParam();
     auto once = [&] {
         SystemParams sp = SystemParams::forMode(cfg.mode, cores);
+        sp.protocol = cfg.protocol;
         System sys(sp);
         const ProgramDecl prog =
             buildNasBenchmark(cfg.bench, cores, scale);
@@ -155,7 +163,9 @@ allConfigs()
         for (SystemMode m : {SystemMode::CacheOnly,
                              SystemMode::HybridIdeal,
                              SystemMode::HybridProto})
-            v.push_back(Cfg{b, m});
+            for (const std::string &p :
+                 ProtocolFactory::global().names())
+                v.push_back(Cfg{b, m, p});
     return v;
 }
 

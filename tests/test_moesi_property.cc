@@ -16,6 +16,7 @@
 #include "mem/L1Cache.hh"
 #include "mem/MainMemory.hh"
 #include "mem/MemNet.hh"
+#include "protocols/ProtocolFactory.hh"
 #include "sim/Rng.hh"
 
 namespace spmcoh
@@ -35,7 +36,9 @@ struct Fabric4
     std::vector<std::unique_ptr<L1Cache>> l1s;
 
     explicit Fabric4(const DirSliceParams &dp = DirSliceParams{},
-                     const L1Params &lp = L1Params{})
+                     const L1Params &lp = L1Params{},
+                     const CoherenceProtocol &proto =
+                         ProtocolFactory::defaultProtocol())
         : mesh(eq, MeshParams{.width = 2, .height = 2})
     {
         net = std::make_unique<MemNet>(eq, mesh, cores,
@@ -49,12 +52,13 @@ struct Fabric4
         }
         for (CoreId i = 0; i < cores; ++i) {
             dirs.push_back(std::make_unique<DirectorySlice>(
-                *net, i, dp, "dir" + std::to_string(i)));
+                *net, i, dp, "dir" + std::to_string(i), proto));
             DirectorySlice *d = dirs.back().get();
             net->setHandler(Endpoint::Dir, i,
                             [d](const Message &m) { d->handle(m); });
             l1s.push_back(std::make_unique<L1Cache>(
-                *net, i, false, lp, "l1d" + std::to_string(i)));
+                *net, i, false, lp, "l1d" + std::to_string(i),
+                proto));
             L1Cache *l1 = l1s.back().get();
             net->setHandler(Endpoint::L1D, i,
                             [l1](const Message &m) { l1->handle(m); });
@@ -139,9 +143,23 @@ struct Fabric4
     }
 };
 
-/** Randomized read/write/DMA agreement with a reference memory. */
-class MoesiProperty : public ::testing::TestWithParam<std::uint64_t>
+/**
+ * Randomized read/write/DMA agreement with a reference memory, run
+ * once per (seed, registered protocol) pair: the data-preservation
+ * property is protocol-independent.
+ */
+class MoesiProperty : public ::testing::TestWithParam<
+                          std::tuple<std::uint64_t, std::string>>
 {
+  protected:
+    const CoherenceProtocol &
+    proto() const
+    {
+        return ProtocolFactory::global().get(
+            std::get<1>(GetParam()));
+    }
+
+    std::uint64_t seed() const { return std::get<0>(GetParam()); }
 };
 
 TEST_P(MoesiProperty, AgreesWithReferenceMemory)
@@ -152,9 +170,9 @@ TEST_P(MoesiProperty, AgreesWithReferenceMemory)
     dp.dirEntries = 64;
     L1Params lp;
     lp.sizeBytes = 2 * 1024;
-    Fabric4 f(dp, lp);
+    Fabric4 f(dp, lp, proto());
 
-    Rng rng(GetParam());
+    Rng rng(seed());
     std::map<Addr, std::uint64_t> ref;
     // 24 hot lines spread over 4 home slices.
     const Addr base = 0x40000;
@@ -196,8 +214,8 @@ TEST_P(MoesiProperty, AgreesWithReferenceMemory)
 
 TEST_P(MoesiProperty, DmaWriteInvalidatesEverywhere)
 {
-    Fabric4 f;
-    Rng rng(GetParam() ^ 0x5555);
+    Fabric4 f(DirSliceParams{}, L1Params{}, proto());
+    Rng rng(seed() ^ 0x5555);
     for (int round = 0; round < 50; ++round) {
         const Addr line =
             0x80000 + rng.below(8) * lineBytes;
@@ -215,8 +233,23 @@ TEST_P(MoesiProperty, DmaWriteInvalidatesEverywhere)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MoesiProperty,
-                         ::testing::Values(1, 2, 3, 11, 29, 97));
+std::string
+paramName(const ::testing::TestParamInfo<
+          std::tuple<std::uint64_t, std::string>> &info)
+{
+    std::string n = std::get<1>(info.param);
+    for (char &c : n)
+        if (c == '-')
+            c = '_';
+    return "seed" + std::to_string(std::get<0>(info.param)) + "_" + n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsTimesProtocols, MoesiProperty,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3, 11, 29, 97),
+        ::testing::ValuesIn(ProtocolFactory::global().names())),
+    paramName);
 
 } // namespace
 } // namespace spmcoh

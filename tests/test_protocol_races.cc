@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "protocols/ProtocolFactory.hh"
 #include "sim/Rng.hh"
 #include "system/System.hh"
 
@@ -27,10 +28,23 @@ namespace
 {
 
 SystemParams
-smallParams()
+smallParams(const std::string &protocol)
 {
-    return SystemParams::forMode(SystemMode::HybridProto, 4);
+    SystemParams p = SystemParams::forMode(SystemMode::HybridProto, 4);
+    p.protocol = protocol;
+    return p;
 }
+
+/** Every race below must close under every registered protocol. */
+class ProtocolRaces : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    SystemParams
+    smallParams() const
+    {
+        return spmcoh::smallParams(GetParam());
+    }
+};
 
 /** Helper: synchronous-looking load through the event queue. */
 std::uint64_t
@@ -72,7 +86,7 @@ doStore(System &sys, CoreId c, Addr a, std::uint64_t v)
  * from one core put a GetX behind a PutM on the wire; the protocol
  * must survive and the final values must be correct.
  */
-TEST(ProtocolRaces, StoreEvictStoreSameLine)
+TEST_P(ProtocolRaces, StoreEvictStoreSameLine)
 {
     System sys(smallParams());
     const Addr a = 0x900000;
@@ -110,7 +124,7 @@ TEST(ProtocolRaces, StoreEvictStoreSameLine)
  * Race 2 regression: a second core requests a line immediately after
  * the first; the forward must not outrun the first core's fill.
  */
-TEST(ProtocolRaces, BackToBackRequestorsSameLine)
+TEST_P(ProtocolRaces, BackToBackRequestorsSameLine)
 {
     System sys(smallParams());
     const Addr a = 0xa00000;
@@ -138,7 +152,7 @@ TEST(ProtocolRaces, BackToBackRequestorsSameLine)
  * written-back data even though the read request is a smaller packet
  * than the writeback.
  */
-TEST(ProtocolRaces, ReadAfterL2Writeback)
+TEST_P(ProtocolRaces, ReadAfterL2Writeback)
 {
     SystemParams p = smallParams();
     p.dir.l2SizeBytes = 4 * 1024;  // tiny L2: evictions guaranteed
@@ -165,18 +179,19 @@ TEST(ProtocolRaces, ReadAfterL2Writeback)
  * a coherent outcome (checked against a reference memory once all
  * traffic drains).
  */
-class RaceStress : public ::testing::TestWithParam<std::uint64_t>
+class RaceStress : public ::testing::TestWithParam<
+                       std::tuple<std::uint64_t, std::string>>
 {
 };
 
 TEST_P(RaceStress, NoDrainRandomTraffic)
 {
-    SystemParams p = smallParams();
+    SystemParams p = smallParams(std::get<1>(GetParam()));
     p.l1d.sizeBytes = 1024;      // 16 lines: constant evictions
     p.dir.l2SizeBytes = 2048;
     p.dir.dirEntries = 32;
     System sys(p);
-    Rng rng(GetParam());
+    Rng rng(std::get<0>(GetParam()));
     // Apply stores without draining; track the LAST issued store per
     // address per core-ordering (single writer per address here to
     // keep the reference exact under concurrency).
@@ -210,8 +225,38 @@ TEST_P(RaceStress, NoDrainRandomTraffic)
                   v);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RaceStress,
-                         ::testing::Values(3, 17, 3331));
+std::string
+protocolName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string n = info.param;
+    for (char &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolRaces,
+    ::testing::ValuesIn(ProtocolFactory::global().names()),
+    protocolName);
+
+std::string
+stressName(const ::testing::TestParamInfo<
+           std::tuple<std::uint64_t, std::string>> &info)
+{
+    std::string n = std::get<1>(info.param);
+    for (char &c : n)
+        if (c == '-')
+            c = '_';
+    return "seed" + std::to_string(std::get<0>(info.param)) + "_" + n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsTimesProtocols, RaceStress,
+    ::testing::Combine(
+        ::testing::Values(3, 17, 3331),
+        ::testing::ValuesIn(ProtocolFactory::global().names())),
+    stressName);
 
 } // namespace
 } // namespace spmcoh
