@@ -27,6 +27,10 @@
 #include "driver/Driver.hh"
 #include "driver/Json.hh"
 
+#ifndef SPMCOH_BUILD_TYPE
+#define SPMCOH_BUILD_TYPE "unknown"
+#endif
+
 using namespace spmcoh;
 
 namespace
@@ -125,6 +129,10 @@ main(int argc, char **argv)
         w.beginObject();
         w.key("bench").value("selfperf");
         w.key("reps").value(reps);
+        // Provenance: captures are only comparable within the same
+        // build type and experiment shape.
+        w.key("buildType").value(SPMCOH_BUILD_TYPE);
+        w.key("cores").value(std::uint64_t{8});
         w.key("experiments").beginArray();
         for (const char *wl : {"CG", "pipeline"}) {
             const Sample s = measure(wl, reps);

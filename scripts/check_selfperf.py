@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate simulator self-performance against the checked-in baseline.
+
+Usage: check_selfperf.py CANDIDATE.json [BASELINE.json]
+           [--tolerance=FACTOR]
+
+CANDIDATE is a fresh ``bench_selfperf`` capture; BASELINE defaults to
+the repo-root ``BENCH_selfperf.json``. Each experiment (matched by
+name) must not be more than FACTOR times slower (nsPerSimCycle) than
+the most recent baseline entry for that experiment. The default
+tolerance of 1.5x is deliberately loose: selfperf runs on shared CI
+machines and only a gross regression — an accidental O(n) scan on the
+hot path, a reintroduced per-event allocation — should fail the
+build. Improvements never fail.
+
+The baseline may be either a single capture (an object with an
+``experiments`` array) or a trajectory (an object whose ``entries``
+array holds dated captures); with a trajectory the LAST entry is the
+reference.
+
+Exit status: 0 when every matched experiment is within tolerance,
+1 on any regression or missing experiment, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_selfperf: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def experiments_of(doc, path):
+    """Accept a raw capture or a trajectory of captures."""
+    if "entries" in doc:
+        if not doc["entries"]:
+            print(f"check_selfperf: {path} has no entries",
+                  file=sys.stderr)
+            sys.exit(2)
+        doc = doc["entries"][-1]
+    if "experiments" not in doc:
+        print(f"check_selfperf: {path} has no experiments",
+              file=sys.stderr)
+        sys.exit(2)
+    return {e["name"]: e for e in doc["experiments"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("candidate")
+    ap.add_argument("baseline", nargs="?",
+                    default="BENCH_selfperf.json")
+    ap.add_argument("--tolerance", type=float, default=1.5)
+    args = ap.parse_args()
+
+    cand = experiments_of(load(args.candidate), args.candidate)
+    base = experiments_of(load(args.baseline), args.baseline)
+
+    failed = False
+    for name, b in sorted(base.items()):
+        c = cand.get(name)
+        if c is None:
+            print(f"FAIL {name}: missing from candidate")
+            failed = True
+            continue
+        b_ns = b["nsPerSimCycle"]
+        c_ns = c["nsPerSimCycle"]
+        limit = b_ns * args.tolerance
+        verdict = "FAIL" if c_ns > limit else "ok"
+        print(f"{verdict:4} {name}: {c_ns} ns/cycle vs baseline "
+              f"{b_ns} (limit {limit:.0f})")
+        if c_ns > limit:
+            failed = True
+    if failed:
+        print("check_selfperf: simulator slowed down beyond the "
+              f"{args.tolerance}x tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

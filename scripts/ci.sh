@@ -80,6 +80,44 @@ echo "== result regression check (CG 8-core mesi vs golden) =="
 python3 scripts/diff_results.py "$BUILD_DIR"/cg8mesi.json \
     tests/golden/cg8_mesi_smoke.json
 
+echo "== result regression check (gather 8-core vs golden) =="
+"$BUILD_DIR"/spmcoh_run --workload=gather --cores=8 --jobs=2 \
+    --format=json --no-stats > "$BUILD_DIR"/gather8.json
+python3 scripts/diff_results.py "$BUILD_DIR"/gather8.json \
+    tests/golden/gather8_smoke.json
+
+echo "== result regression check (contend 8-core vs golden) =="
+"$BUILD_DIR"/spmcoh_run --workload=contend --cores=8 --jobs=2 \
+    --format=json --no-stats > "$BUILD_DIR"/contend8.json
+python3 scripts/diff_results.py "$BUILD_DIR"/contend8.json \
+    tests/golden/contend8_smoke.json
+
+echo "== determinism stress (jobs=1 vs jobs=4, run twice each) =="
+# A multi-axis sweep (2 workloads x 2 protocols x 2 scales) executed
+# serially and on 4 worker threads, twice each, must produce four
+# byte-identical JSON documents. This is the gate that catches any
+# shared mutable state between sweep points (allocator-address
+# ordering, pool reuse across experiments, stray globals) — the
+# per-experiment goldens above cannot see cross-experiment leaks.
+for run in 1a 1b 4a 4b; do
+    jobs="${run%[ab]}"
+    "$BUILD_DIR"/spmcoh_run --workload=gather,contend \
+        --protocol=spm-hybrid,mesi --scale=1.0,1.25 --cores=8 \
+        --jobs="$jobs" --format=json --no-stats \
+        > "$BUILD_DIR"/determinism_"$run".json
+done
+for run in 1b 4a 4b; do
+    cmp "$BUILD_DIR"/determinism_1a.json \
+        "$BUILD_DIR"/determinism_"$run".json || {
+        echo "determinism stress: run $run diverged from run 1a"
+        exit 1; }
+done
+
+echo "== selfperf regression gate (loose tolerance) =="
+"$BUILD_DIR"/bench_selfperf --reps=3 \
+    --out="$BUILD_DIR"/selfperf.json
+python3 scripts/check_selfperf.py "$BUILD_DIR"/selfperf.json
+
 echo "== large-mesh smoke test (256 cores, 16x16) =="
 "$BUILD_DIR"/spmcoh_run --workload=CG --cores=256 --jobs=auto \
     --format=json > "$BUILD_DIR"/smoke256.json

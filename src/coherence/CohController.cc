@@ -21,6 +21,23 @@ CohController::CohController(MemNet &net_, CohFabric &fab_,
     : net(net_), fab(fab_), amap(amap_), spm(spm_), dmac(dmac_),
       core(core_), proto(proto_), p(p_), spmDir(p_.spmDirEntries),
       filter(p_.filterEntries), stats(name),
+      stGuardedProbes(stats.counter("guardedProbes")),
+      stSpmdirLookups(stats.counter("spmdirLookups")),
+      stFilterLookups(stats.counter("filterLookups")),
+      stSpmdirHits(stats.counter("spmdirHits")),
+      stFilterHits(stats.counter("filterHits")),
+      stFilterMisses(stats.counter("filterMisses")),
+      stSpmdirProbes(stats.counter("spmdirProbes")),
+      stFilterChecksSent(stats.counter("filterChecksSent")),
+      stRemoteSpmRequests(stats.counter("remoteSpmRequests")),
+      stFilterInserts(stats.counter("filterInserts")),
+      stFilterEvictions(stats.counter("filterEvictions")),
+      stCheckNacks(stats.counter("checkNacks")),
+      stRemoteSpmServed(stats.counter("remoteSpmServed")),
+      stFilterInvalsReceived(stats.counter("filterInvalsReceived")),
+      stMapInvalsDone(stats.counter("mapInvalsDone")),
+      stMappings(stats.counter("mappings")),
+      stConfigWrites(stats.counter("configWrites")),
       resolveLatency(stats.histogram(
           "resolveLatency", {8, 16, 32, 64, 128, 256, 512, 1024})),
       pendingOccupancy(stats.histogram("pendingOccupancy",
@@ -32,8 +49,8 @@ std::uint64_t
 CohController::trackPending(PendingReq req)
 {
     req.issuedAt = net.events().now();
-    const std::uint64_t id = nextId++;
-    pending.emplace(id, std::move(req));
+    const std::uint64_t id = pending.acquire();
+    *pending.find(id) = std::move(req);
     pendingOccupancy.sample(pending.size());
     return id;
 }
@@ -41,11 +58,11 @@ CohController::trackPending(PendingReq req)
 CohController::PendingReq
 CohController::untrackPending(std::uint64_t id, const char *what)
 {
-    auto it = pending.find(id);
-    if (it == pending.end())
+    PendingReq *slot = pending.find(id);
+    if (!slot)
         panic(std::string("CohController: ") + what);
-    PendingReq req = std::move(it->second);
-    pending.erase(it);
+    PendingReq req = std::move(*slot);
+    pending.release(id);
     resolveLatency.sample(net.events().now() - req.issuedAt);
     pendingOccupancy.sample(pending.size());
     return req;
@@ -56,7 +73,7 @@ CohController::setBufferConfig(std::uint32_t log2_bytes)
 {
     // Fork-join invariant: every core programs the same masks.
     fab.config.set(log2_bytes);
-    ++stats.counter("configWrites");
+    ++stConfigWrites;
 }
 
 void
@@ -65,7 +82,7 @@ CohController::mapBuffer(std::uint32_t idx, Addr gm_base,
 {
     if (fab.config.base(gm_base) != gm_base)
         panic("CohController: chunk base not aligned to buffer size");
-    ++stats.counter("mappings");
+    ++stMappings;
     if (auto old = spmDir.baseOf(idx)) {
         if (fab.ideal)
             fab.oracle.unmap(*old);
@@ -105,7 +122,7 @@ GuardProbe
 CohController::probeGuarded(Addr addr, bool is_write)
 {
     (void)is_write;
-    ++stats.counter("guardedProbes");
+    ++stGuardedProbes;
     const Addr base = fab.config.base(addr);
 
     if (fab.ideal) {
@@ -125,20 +142,20 @@ CohController::probeGuarded(Addr addr, bool is_write)
     // Parallel CAM lookups in the SPMDir and the filter (Fig. 5);
     // the outcome routes through the protocol's guard table.
     using GuardEvent = CoherenceProtocol::GuardEvent;
-    ++stats.counter("spmdirLookups");
-    ++stats.counter("filterLookups");
+    ++stSpmdirLookups;
+    ++stFilterLookups;
     GuardEvent ev = GuardEvent::BothMiss;
     Addr spm_addr = 0;
     if (auto idx = spmDir.lookup(base)) {
-        ++stats.counter("spmdirHits");
+        ++stSpmdirHits;
         ev = GuardEvent::SpmDirHit;
         spm_addr = amap.localSpmBase(core) +
             *idx * fab.config.bytes() + fab.config.offset(addr);
     } else if (filter.lookup(base)) {
-        ++stats.counter("filterHits");
+        ++stFilterHits;
         ev = GuardEvent::FilterHit;
     } else {
-        ++stats.counter("filterMisses");
+        ++stFilterMisses;
     }
     switch (proto.guardAction(ev)) {
       case CoherenceProtocol::GuardAction::DivertLocalSpm:
@@ -193,7 +210,7 @@ CohController::resolveGuarded(Addr addr, std::uint8_t size,
     }
 
     // Fig. 5c/5d: ask the FilterDir home slice.
-    ++stats.counter("filterChecksSent");
+    ++stFilterChecksSent;
     const std::uint64_t id =
         trackPending(PendingReq{addr, is_write, 0, std::move(cb)});
     Message m;
@@ -219,7 +236,7 @@ CohController::remoteSpmAccess(Addr addr, std::uint8_t size,
     const CoreId owner = amap.spmOwner(addr);
     if (owner == core)
         panic("CohController: remoteSpmAccess to the local SPM");
-    ++stats.counter("remoteSpmRequests");
+    ++stRemoteSpmRequests;
     const std::uint64_t id =
         trackPending(PendingReq{addr, is_write, 0, std::move(cb)});
     Message m;
@@ -244,13 +261,13 @@ CohController::handle(const Message &msg)
       case MsgType::FilterCheckNack:
         // Informational (Fig. 5d): completion arrives with the
         // remote SPM response; the filter must not cache the base.
-        ++stats.counter("checkNacks");
+        ++stCheckNacks;
         break;
       case MsgType::RemoteSpmData:    onRemoteData(msg, false); break;
       case MsgType::RemoteSpmStAck:   onRemoteData(msg, true); break;
       case MsgType::FilterInvalFwd:   onInvalFwd(msg); break;
       case MsgType::FilterInvalDone:
-        ++stats.counter("mapInvalsDone");
+        ++stMapInvalsDone;
         dmac.completeTagToken(static_cast<std::uint32_t>(msg.aux));
         break;
       case MsgType::SpmDirect:        onSpmDirect(msg); break;
@@ -268,7 +285,7 @@ CohController::onCheckAck(const Message &msg)
     // Cache the not-mapped verdict; a full filter evicts an entry
     // that the FilterDir must stop tracking for us.
     if (auto evicted = filter.insert(fab.config.base(req.addr))) {
-        ++stats.counter("filterEvictions");
+        ++stFilterEvictions;
         Message n;
         n.type = MsgType::FilterEvictNotify;
         n.addr = *evicted;
@@ -277,7 +294,7 @@ CohController::onCheckAck(const Message &msg)
         net.send(core, Endpoint::CohDir, fab.homeFor(*evicted), n,
                  TrafficClass::CohProt);
     }
-    ++stats.counter("filterInserts");
+    ++stFilterInserts;
     req.cb(false, 0);
 }
 
@@ -287,14 +304,14 @@ CohController::onRemoteData(const Message &msg, bool is_store_ack)
     const std::uint64_t id = msg.aux >> 8;
     PendingReq req =
         untrackPending(id, "remote response for unknown access");
-    ++stats.counter("remoteSpmServed");
+    ++stRemoteSpmServed;
     req.cb(true, is_store_ack ? 0 : msg.data.read64(0));
 }
 
 void
 CohController::onInvalFwd(const Message &msg)
 {
-    ++stats.counter("filterInvalsReceived");
+    ++stFilterInvalsReceived;
     filter.invalidate(msg.addr);
     Message a;
     a.type = MsgType::FilterInvalFwdAck;
@@ -310,28 +327,32 @@ void
 CohController::onSpmDirect(const Message &msg)
 {
     // Plain remote SPM access: serve after the SPM access latency.
-    const Message req = msg;
-    const std::uint32_t off = amap.spmOffset(req.addr);
+    // The closure captures the handful of fields it needs (not the
+    // whole Message), which keeps it within the inline budget.
+    const std::uint32_t off = amap.spmOffset(msg.addr);
     const std::uint8_t size =
-        static_cast<std::uint8_t>(req.aux & 0xff);
-    net.events().scheduleIn(spm.accessLatency(), [this, req, off,
-                                                  size] {
-        Message r;
-        r.addr = req.addr;
-        r.aux = req.aux;
-        r.requestor = req.requestor;
-        r.cls = TrafficClass::CohProt;
-        if (req.isWrite) {
-            spm.write(off, size, req.data.read64(0));
-            r.type = MsgType::RemoteSpmStAck;
-        } else {
-            r.type = MsgType::RemoteSpmData;
-            r.hasData = true;
-            r.data.write64(0, spm.read(off, size));
-        }
-        net.send(core, Endpoint::Coh, req.requestor, r,
-                 TrafficClass::CohProt);
-    });
+        static_cast<std::uint8_t>(msg.aux & 0xff);
+    net.events().scheduleIn(
+        spm.accessLatency(),
+        [this, addr = msg.addr, aux = msg.aux,
+         requestor = msg.requestor, is_write = msg.isWrite,
+         wdata = msg.data.read64(0), off, size] {
+            Message r;
+            r.addr = addr;
+            r.aux = aux;
+            r.requestor = requestor;
+            r.cls = TrafficClass::CohProt;
+            if (is_write) {
+                spm.write(off, size, wdata);
+                r.type = MsgType::RemoteSpmStAck;
+            } else {
+                r.type = MsgType::RemoteSpmData;
+                r.hasData = true;
+                r.data.write64(0, spm.read(off, size));
+            }
+            net.send(core, Endpoint::Coh, requestor, r,
+                     TrafficClass::CohProt);
+        });
 }
 
 } // namespace spmcoh

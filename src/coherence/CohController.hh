@@ -15,8 +15,6 @@
 #define SPMCOH_COHERENCE_COHCONTROLLER_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 
 #include "coherence/CohFabric.hh"
 #include "coherence/Filter.hh"
@@ -26,6 +24,8 @@
 #include "spm/AddressMap.hh"
 #include "spm/Dmac.hh"
 #include "spm/Spm.hh"
+#include "sim/SlotTable.hh"
+#include "sim/SmallFunction.hh"
 #include "sim/Stats.hh"
 
 namespace spmcoh
@@ -58,7 +58,7 @@ class CohController
 {
   public:
     /** (served_by_spm, loaded_value) */
-    using ResolveCb = std::function<void(bool, std::uint64_t)>;
+    using ResolveCb = SmallFunction<void(bool, std::uint64_t)>;
 
     /** @param proto_ protocol whose Fig. 5 guard table routes the
      *  guarded-access dispatch (default: the default protocol). */
@@ -110,7 +110,7 @@ class CohController
     }
 
     /** Account the CAM energy of one broadcast probe. */
-    void countProbe() { ++stats.counter("spmdirProbes"); }
+    void countProbe() { ++stSpmdirProbes; }
 
     Spm &spmRef() { return spm; }
     Filter &filterRef() { return filter; }
@@ -148,9 +148,28 @@ class CohController
     CohParams p;
     SpmDir spmDir;
     Filter filter;
-    std::unordered_map<std::uint64_t, PendingReq> pending;
-    std::uint64_t nextId = 1;
+    /** Outstanding asynchronous requests, keyed by generation-tagged
+     *  slot ids that flow through message aux fields. */
+    SlotTable<PendingReq> pending;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction. */
+    Counter &stGuardedProbes;
+    Counter &stSpmdirLookups;
+    Counter &stFilterLookups;
+    Counter &stSpmdirHits;
+    Counter &stFilterHits;
+    Counter &stFilterMisses;
+    Counter &stSpmdirProbes;
+    Counter &stFilterChecksSent;
+    Counter &stRemoteSpmRequests;
+    Counter &stFilterInserts;
+    Counter &stFilterEvictions;
+    Counter &stCheckNacks;
+    Counter &stRemoteSpmServed;
+    Counter &stFilterInvalsReceived;
+    Counter &stMapInvalsDone;
+    Counter &stMappings;
+    Counter &stConfigWrites;
     /** Issue-to-resolution latency of asynchronous guarded / remote
      *  SPM requests (the Fig. 5c/5d paths). */
     Histogram &resolveLatency;

@@ -14,7 +14,18 @@ FilterDirSlice::FilterDirSlice(MemNet &net_, CohFabric &fab_,
                                CoreId tile_, const FilterDirParams &p_,
                                const std::string &name)
     : net(net_), fab(fab_), tile(tile_), p(p_),
-      slots(p_.entriesPerSlice), lru(p_.entriesPerSlice), stats(name)
+      slots(p_.entriesPerSlice), lru(p_.entriesPerSlice), stats(name),
+      stChecks(stats.counter("checks")),
+      stCheckHits(stats.counter("checkHits")),
+      stBroadcasts(stats.counter("broadcasts")),
+      stRemoteHits(stats.counter("remoteHits")),
+      stQueuedOps(stats.counter("queuedOps")),
+      stInserts(stats.counter("inserts")),
+      stInsertRetries(stats.counter("insertRetries")),
+      stEvictions(stats.counter("evictions")),
+      stMapInvalidations(stats.counter("mapInvalidations")),
+      stSharerInvalidations(stats.counter("sharerInvalidations")),
+      stEvictNotifies(stats.counter("evictNotifies"))
 {
 }
 
@@ -69,7 +80,7 @@ FilterDirSlice::enqueueIfBusy(Addr base, const Message &msg)
     if (it == busyBases.end())
         return false;
     it->second.push_back(msg);
-    ++stats.counter("queuedOps");
+    ++stQueuedOps;
     return true;
 }
 
@@ -79,30 +90,38 @@ FilterDirSlice::releaseBase(Addr base)
     auto it = busyBases.find(base);
     if (it == busyBases.end())
         panic("FilterDirSlice: releasing idle base");
-    std::deque<Message> q = std::move(it->second);
+    std::vector<Message> q = std::move(it->second);
     busyBases.erase(it);
-    // Re-inject queued operations in arrival order.
+    // Re-inject queued operations in arrival order, each parked in a
+    // pooled slot so the closure stays inline-sized.
     for (const Message &m : q) {
-        const Message copy = m;
-        net.events().scheduleIn(1, [this, copy] { handle(copy); });
+        Message *pm = net.msgPool().acquire(m);
+        net.events().scheduleIn(1, [this, pm] {
+            handle(*pm);
+            net.msgPool().release(pm);
+        });
     }
 }
 
 void
 FilterDirSlice::onFilterCheck(const Message &msg)
 {
-    ++stats.counter("checks");
+    ++stChecks;
     const Addr base = fab.config.base(msg.addr);
     if (enqueueIfBusy(base, msg))
         return;
-    const Message req = msg;
-    net.events().scheduleIn(p.lookupLatency, [this, req, base] {
-        if (enqueueIfBusy(base, req))
-            return;  // a broadcast started while we looked up
+    Message *pm = net.msgPool().acquire(msg);
+    net.events().scheduleIn(p.lookupLatency, [this, pm, base] {
+        const Message &req = *pm;
+        if (enqueueIfBusy(base, req)) {
+            // A broadcast started while we looked up.
+            net.msgPool().release(pm);
+            return;
+        }
         const std::int32_t i = findSlot(base, SlotState::Valid);
         if (i >= 0) {
             // Known unmapped: add the sharer and ACK (Fig. 6b step 2).
-            ++stats.counter("checkHits");
+            ++stCheckHits;
             Slot &s = slots[static_cast<std::size_t>(i)];
             s.sharers |= bit(req.requestor);
             lru.touch(static_cast<std::uint32_t>(i));
@@ -111,14 +130,15 @@ FilterDirSlice::onFilterCheck(const Message &msg)
         } else {
             broadcastProbe(req, base);
         }
+        net.msgPool().release(pm);
     });
 }
 
 void
 FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
 {
-    ++stats.counter("broadcasts");
-    busyBases.emplace(base, std::deque<Message>{});
+    ++stBroadcasts;
+    busyBases.emplace(base, std::vector<Message>{});
     const std::uint32_t n = net.cores();
 
     // Account every probe and response packet; simulate the exchange
@@ -136,10 +156,11 @@ FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
     const Tick responses_back = probe_arrive +
         net.noc().maxLatencyFrom(tile, ctrlPacketBytes);
 
-    const Message req = msg;
-    net.events().scheduleIn(probe_arrive, [this, req, base,
-                                           responses_back,
-                                           probe_arrive] {
+    Message *pm = net.msgPool().acquire(msg);
+    net.events().scheduleIn(probe_arrive,
+                            [this, pm, base,
+                             resp_delay = responses_back - probe_arrive] {
+        const Message &req = *pm;
         // Evaluate the SPMDir CAMs at probe-arrival time.
         CoreId owner = invalidCore;
         std::uint32_t buf_idx = 0;
@@ -152,50 +173,57 @@ FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
                 break;
             }
         }
-        const Tick resp_delay = responses_back - probe_arrive;
         if (owner != invalidCore) {
             // Fig. 5d: a remote SPM serves the access directly.
-            ++stats.counter("remoteHits");
+            ++stRemoteHits;
             const std::uint32_t spm_off = static_cast<std::uint32_t>(
                 buf_idx * fab.config.bytes() +
                 fab.config.offset(req.addr));
             const std::uint8_t size =
                 static_cast<std::uint8_t>(req.aux & 0xff);
-            const CoreId own = owner;
-            net.events().scheduleIn(1, [this, req, own, spm_off,
-                                        size] {
+            net.events().scheduleIn(1,
+                    [this, own = owner, spm_off, size,
+                     addr = req.addr, aux = req.aux,
+                     requestor = req.requestor,
+                     is_write = req.isWrite,
+                     wdata = req.data.read64(0)] {
                 Spm &rspm = fab.ctrls[own]->spmRef();
                 Message r;
-                r.addr = req.addr;
-                r.aux = req.aux;
-                r.requestor = req.requestor;
+                r.addr = addr;
+                r.aux = aux;
+                r.requestor = requestor;
                 r.cls = TrafficClass::CohProt;
-                if (req.isWrite) {
-                    rspm.write(spm_off, size, req.data.read64(0));
+                if (is_write) {
+                    rspm.write(spm_off, size, wdata);
                     r.type = MsgType::RemoteSpmStAck;
                 } else {
                     r.type = MsgType::RemoteSpmData;
                     r.hasData = true;
                     r.data.write64(0, rspm.read(spm_off, size));
                 }
-                net.send(own, Endpoint::Coh, req.requestor, r,
+                net.send(own, Endpoint::Coh, requestor, r,
                          TrafficClass::CohProt);
             });
             // Informational NACK: the filter must not cache the base.
-            net.events().scheduleIn(resp_delay, [this, req, base] {
-                sendToCore(req.requestor, MsgType::FilterCheckNack,
-                           req.addr, req.aux);
+            net.events().scheduleIn(resp_delay,
+                    [this, base, requestor = req.requestor,
+                     addr = req.addr, aux = req.aux] {
+                sendToCore(requestor, MsgType::FilterCheckNack,
+                           addr, aux);
                 releaseBase(base);
             });
         } else {
             // Fig. 5c: nobody maps it; install and ACK after all
             // NACK responses are in.
-            net.events().scheduleIn(resp_delay, [this, req, base] {
+            net.events().scheduleIn(resp_delay,
+                    [this, base, requestor = req.requestor,
+                     aux = req.aux] {
                 // insertAndAck releases the base serialization once
                 // the install (and any victim drain) completes.
-                insertAndAck(base, req.requestor, req.aux);
+                insertAndAck(base, requestor, aux);
             });
         }
+        net.msgPool().release(pm);
     });
 }
 
@@ -215,7 +243,7 @@ FilterDirSlice::insertAndAck(Addr base, CoreId requestor,
         if (slots[i].st == SlotState::Free) {
             slots[i] = Slot{SlotState::Valid, base, bit(requestor)};
             lru.touch(static_cast<std::uint32_t>(i));
-            ++stats.counter("inserts");
+            ++stInserts;
             sendToCore(requestor, MsgType::FilterCheckAck, base, aux);
             releaseBase(base);
             return;
@@ -237,7 +265,7 @@ FilterDirSlice::insertAndAck(Addr base, CoreId requestor,
             // Everything is draining (pathological); retry shortly.
             // The base stays serialized through the retry and is
             // released by whichever insertAndAck path completes.
-            ++stats.counter("insertRetries");
+            ++stInsertRetries;
             net.events().scheduleIn(p.retryDelay,
                                     [this, base, requestor, aux] {
                 insertAndAck(base, requestor, aux);
@@ -245,7 +273,7 @@ FilterDirSlice::insertAndAck(Addr base, CoreId requestor,
             return;
         }
     }
-    ++stats.counter("evictions");
+    ++stEvictions;
     // The base stays serialized (busy) until the victim drain
     // completes; onFwdAck releases it.
     Slot &v = slots[victim];
@@ -267,7 +295,7 @@ FilterDirSlice::insertAndAck(Addr base, CoreId requestor,
     if (op.pendingAcks == 0) {
         v = Slot{SlotState::Valid, base, bit(requestor)};
         lru.touch(victim);
-        ++stats.counter("inserts");
+        ++stInserts;
         sendToCore(requestor, MsgType::FilterCheckAck, base, aux);
         releaseBase(base);
         return;
@@ -278,12 +306,12 @@ FilterDirSlice::insertAndAck(Addr base, CoreId requestor,
 void
 FilterDirSlice::onFilterInval(const Message &msg)
 {
-    ++stats.counter("mapInvalidations");
+    ++stMapInvalidations;
     if (enqueueIfBusy(msg.addr, msg))
         return;
-    const Message req = msg;
-    net.events().scheduleIn(p.lookupLatency, [this, req] {
-        const Addr base = req.addr;
+    net.events().scheduleIn(p.lookupLatency,
+            [this, base = msg.addr, requestor = msg.requestor,
+             aux = msg.aux] {
         std::uint64_t sharers = 0;
         for (Slot &s : slots) {
             if (s.base == base && (s.st == SlotState::Valid ||
@@ -294,16 +322,16 @@ FilterDirSlice::onFilterInval(const Message &msg)
             }
         }
         if (sharers == 0) {
-            sendToCore(req.requestor, MsgType::FilterInvalDone, base,
-                       req.aux);
+            sendToCore(requestor, MsgType::FilterInvalDone, base,
+                       aux);
             return;
         }
-        ++stats.counter("sharerInvalidations");
+        ++stSharerInvalidations;
         const std::uint64_t op_id = nextOp++;
         PendingOp op;
         op.kind = PendingOp::Kind::MapInval;
-        op.requestor = req.requestor;
-        op.aux = req.aux;
+        op.requestor = requestor;
+        op.aux = aux;
         std::uint64_t m = sharers;
         for (CoreId c = 0; m != 0; ++c, m >>= 1) {
             if (m & 1) {
@@ -318,7 +346,7 @@ FilterDirSlice::onFilterInval(const Message &msg)
 void
 FilterDirSlice::onEvictNotify(const Message &msg)
 {
-    ++stats.counter("evictNotifies");
+    ++stEvictNotifies;
     const std::int32_t i = findSlot(msg.addr, SlotState::Valid);
     if (i >= 0)
         slots[static_cast<std::size_t>(i)].sharers &=
@@ -342,7 +370,7 @@ FilterDirSlice::onFwdAck(const Message &msg)
         slots[done.slot] =
             Slot{SlotState::Valid, done.newBase, bit(done.requestor)};
         lru.touch(done.slot);
-        ++stats.counter("inserts");
+        ++stInserts;
         sendToCore(done.requestor, MsgType::FilterCheckAck,
                    done.newBase, done.aux);
         releaseBase(done.newBase);

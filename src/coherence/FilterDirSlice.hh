@@ -15,7 +15,6 @@
 #define SPMCOH_COHERENCE_FILTERDIRSLICE_HH
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -109,10 +108,22 @@ class FilterDirSlice
      * mapping racing with a broadcast's conclusion could leave a
      * stale "not mapped" verdict in a filter (Sec. 3.3 invariant).
      */
-    std::unordered_map<Addr, std::deque<Message>> busyBases;
+    std::unordered_map<Addr, std::vector<Message>> busyBases;
     std::unordered_map<std::uint64_t, PendingOp> ops;
     std::uint64_t nextOp = 1;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction. */
+    Counter &stChecks;
+    Counter &stCheckHits;
+    Counter &stBroadcasts;
+    Counter &stRemoteHits;
+    Counter &stQueuedOps;
+    Counter &stInserts;
+    Counter &stInsertRetries;
+    Counter &stEvictions;
+    Counter &stMapInvalidations;
+    Counter &stSharerInvalidations;
+    Counter &stEvictNotifies;
 };
 
 } // namespace spmcoh

@@ -50,7 +50,8 @@ class Barrier
             std::vector<std::function<void()>> release;
             release.swap(waiting);
             ++generationCount;
-            eq.scheduleIn(releaseLatency, [release] {
+            eq.scheduleIn(releaseLatency,
+                          [release = std::move(release)] {
                 for (const auto &f : release)
                     f();
             });

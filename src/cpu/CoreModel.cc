@@ -15,7 +15,23 @@ CoreModel::CoreModel(MemNet &net_, L1Cache &l1d_, L1Cache &l1i_,
                      const CoreParams &p_, const std::string &name)
     : net(net_), l1d(l1d_), l1i(l1i_), tlb(tlb_), spm(spm_),
       dmac(dmac_), coh(coh_), amap(amap_), core(core_), mode(mode_),
-      p(p_), stats(name)
+      p(p_), stats(name),
+      stInstructions(stats.counter("instructions")),
+      stMemOps(stats.counter("memOps")),
+      stRobStalls(stats.counter("robStalls")),
+      stLqStalls(stats.counter("lqStalls")),
+      stSqStalls(stats.counter("sqStalls")),
+      stStoreForwards(stats.counter("storeForwards")),
+      stSpmAccesses(stats.counter("spmAccesses")),
+      stGuardedAccesses(stats.counter("guardedAccesses")),
+      stGuardedLocalSpm(stats.counter("guardedLocalSpm")),
+      stGuardedResolves(stats.counter("guardedResolves")),
+      stGuardedRemoteSpm(stats.counter("guardedRemoteSpm")),
+      stRemoteSpmAccesses(stats.counter("remoteSpmAccesses")),
+      stDmaCommands(stats.counter("dmaCommands")),
+      stSquashes(stats.counter("squashes")),
+      stKernelCodeWalks(stats.counter("kernelCodeWalks")),
+      stCycles(stats.counter("cycles"))
 {
     l1d.setMshrFreeCallback([this] {
         drainDeferred();
@@ -128,14 +144,14 @@ CoreModel::run()
                     const std::uint64_t used =
                         instrCount - window.front().instrNo;
                     if (used >= p.robEntries) {
-                        ++stats.counter("robStalls");
+                        ++stRobStalls;
                         return;  // completion wakes us
                     }
                     if (p.robEntries - used < allowed)
                         allowed = p.robEntries - used;
                 }
                 instrCount += allowed;
-                stats.counter("instructions") += allowed;
+                stInstructions += allowed;
                 advance(divCeil(allowed, p.issueWidth));
                 cur.count -= static_cast<std::uint32_t>(allowed);
             }
@@ -183,7 +199,7 @@ CoreModel::run()
             c.tag = cur.tag;
             if (!dmac.enqueue(c))
                 return;  // command-queue slot callback wakes us
-            ++stats.counter("dmaCommands");
+            ++stDmaCommands;
             bumpKernel(kernelDma);
             haveCur = false;
             break;
@@ -249,24 +265,24 @@ CoreModel::execLoadStore(bool &need_return)
 
     if (!probed) {
         if (windowBlocked()) {
-            ++stats.counter("robStalls");
+            ++stRobStalls;
             need_return = true;  // a completion will wake us
             return false;
         }
         if (is_load && pendingLoads >= p.lqEntries) {
-            ++stats.counter("lqStalls");
+            ++stLqStalls;
             need_return = true;
             return false;
         }
         if (!is_load && pendingStores >= p.sqEntries) {
-            ++stats.counter("sqStalls");
+            ++stSqStalls;
             need_return = true;
             return false;
         }
         chargeLsuSlot();
         ++instrCount;
-        ++stats.counter("instructions");
-        ++stats.counter("memOps");
+        ++stInstructions;
+        ++stMemOps;
 
         if (cur.guarded && mode != SystemMode::CacheOnly) {
             bool fall_to_gm = false;
@@ -314,7 +330,7 @@ CoreModel::gmPath(bool &need_return)
     if (is_load) {
         if (auto v = forwardLoad(cur.addr, cur.size)) {
             (void)v;
-            ++stats.counter("storeForwards");
+            ++stStoreForwards;
             return true;
         }
     }
@@ -347,7 +363,7 @@ CoreModel::spmLocal(Addr a)
         spm.read(off, cur.size);
     else
         spm.write(off, cur.size, storeValue());
-    ++stats.counter("spmAccesses");
+    ++stSpmAccesses;
     return true;
 }
 
@@ -356,7 +372,7 @@ CoreModel::guardedPath(bool &need_return, bool &fall_to_gm)
 {
     (void)need_return;
     const bool is_load = cur.kind == OpKind::Load;
-    ++stats.counter("guardedAccesses");
+    ++stGuardedAccesses;
     bumpKernel(kernelGuarded);
     const GuardProbe g = coh.probeGuarded(cur.addr, !is_load);
     switch (g.kind) {
@@ -384,7 +400,7 @@ CoreModel::guardedPath(bool &need_return, bool &fall_to_gm)
                 writeThroughL1(gm, sz, val);
             });
         }
-        ++stats.counter("guardedLocalSpm");
+        ++stGuardedLocalSpm;
         return true;
       }
       case GuardProbe::Kind::Pending:
@@ -449,12 +465,12 @@ CoreModel::issueAsyncGuarded()
     const std::uint32_t ref = cur.refId;
     const std::uint64_t val = is_load ? 0 : storeValue();
     const std::uint64_t seq = allocWindow(is_load);
-    ++stats.counter("guardedResolves");
+    ++stGuardedResolves;
     coh.resolveGuarded(a, sz, !is_load, val,
                        [this, seq, a, sz, ref, val, is_load](
                            bool by_spm, std::uint64_t v) {
         if (by_spm) {
-            ++stats.counter("guardedRemoteSpm");
+            ++stGuardedRemoteSpm;
             if (!is_load)
                 writeThroughL1(a, sz, val);
             onMemComplete(seq, v);
@@ -488,7 +504,7 @@ CoreModel::issueAsyncRemoteSpm()
     const bool is_load = cur.kind == OpKind::Load;
     const std::uint64_t val = is_load ? 0 : storeValue();
     const std::uint64_t seq = allocWindow(is_load);
-    ++stats.counter("remoteSpmAccesses");
+    ++stRemoteSpmAccesses;
     coh.remoteSpmAccess(cur.addr, cur.size, !is_load, val,
                         [this, seq](bool, std::uint64_t v) {
         onMemComplete(seq, v);
@@ -586,7 +602,7 @@ CoreModel::checkSquash(Addr spm_addr, bool is_write)
                 (d.resolveAt > localTick ? d.resolveAt : localTick) +
                 p.flushPenalty;
             advance(target - localTick);
-            ++stats.counter("squashes");
+            ++stSquashes;
             diverts.erase(diverts.begin() +
                           static_cast<std::ptrdiff_t>(i));
             return;
@@ -597,7 +613,7 @@ CoreModel::checkSquash(Addr spm_addr, bool is_write)
 void
 CoreModel::startCodeFetch(Addr addr, std::uint32_t bytes)
 {
-    ++stats.counter("kernelCodeWalks");
+    ++stKernelCodeWalks;
     codeFetchStep(lineAlign(addr), lineAlign(addr) + bytes);
 }
 
@@ -660,7 +676,7 @@ CoreModel::finish()
         return;
     done = true;
     finishedAt = localTick;
-    stats.counter("cycles") += localTick;
+    stCycles += localTick;
 
     // Flush the phase-graph attribution (only populated when the op
     // stream carried KernelMark ops).

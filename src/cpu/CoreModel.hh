@@ -246,6 +246,24 @@ class CoreModel
         barrierArrive;
     std::function<void()> finishedCb;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction. The
+     *  per-phase counters in finish() stay string-keyed (cold). */
+    Counter &stInstructions;
+    Counter &stMemOps;
+    Counter &stRobStalls;
+    Counter &stLqStalls;
+    Counter &stSqStalls;
+    Counter &stStoreForwards;
+    Counter &stSpmAccesses;
+    Counter &stGuardedAccesses;
+    Counter &stGuardedLocalSpm;
+    Counter &stGuardedResolves;
+    Counter &stGuardedRemoteSpm;
+    Counter &stRemoteSpmAccesses;
+    Counter &stDmaCommands;
+    Counter &stSquashes;
+    Counter &stKernelCodeWalks;
+    Counter &stCycles;
 };
 
 } // namespace spmcoh

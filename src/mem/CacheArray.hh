@@ -6,6 +6,13 @@
  * The array stores tags, per-line payload of type LineT, and exposes
  * lookup / insert-with-victim / invalidate. Coherence state lives in
  * LineT so the same array backs L1s, the L2 slices and the directory.
+ *
+ * Tags and payloads are kept in separate parallel arrays: the hot
+ * lookup/peek scan strides over a contiguous 8-byte tag array (one or
+ * two cache lines per set) instead of dragging the full payload
+ * through the cache at sizeof(LineT) stride. A tag of badTag marks an
+ * invalid way — ~0 can never be a line-aligned address, so no
+ * separate valid bit is needed.
  */
 
 #ifndef SPMCOH_MEM_CACHEARRAY_HH
@@ -13,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/Logging.hh"
@@ -30,13 +38,6 @@ template <typename LineT>
 class CacheArray
 {
   public:
-    struct Way
-    {
-        bool valid = false;
-        Addr tag = 0;       ///< full line address (simplifies checks)
-        LineT line{};
-    };
-
     /**
      * @param num_sets number of sets (power of two, or 1 for FA)
      * @param num_ways associativity
@@ -48,7 +49,8 @@ class CacheArray
     CacheArray(std::uint32_t num_sets, std::uint32_t num_ways,
                std::uint32_t index_shift = lineShift)
         : sets(num_sets), ways(num_ways), indexShift(index_shift),
-          arr(static_cast<std::size_t>(num_sets) * num_ways),
+          tags(static_cast<std::size_t>(num_sets) * num_ways, badTag),
+          lines(static_cast<std::size_t>(num_sets) * num_ways),
           lru(num_sets, PseudoLru(num_ways))
     {
         if (!isPow2(num_sets))
@@ -73,11 +75,11 @@ class CacheArray
     {
         line_addr = lineAlign(line_addr);
         const std::uint32_t s = setIndex(line_addr);
+        const std::size_t base = static_cast<std::size_t>(s) * ways;
         for (std::uint32_t w = 0; w < ways; ++w) {
-            Way &way = at(s, w);
-            if (way.valid && way.tag == line_addr) {
+            if (tags[base + w] == line_addr) {
                 lru[s].touch(w);
-                return &way.line;
+                return &lines[base + w];
             }
         }
         return nullptr;
@@ -88,12 +90,11 @@ class CacheArray
     peek(Addr line_addr) const
     {
         line_addr = lineAlign(line_addr);
-        const std::uint32_t s = setIndex(line_addr);
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            const Way &way = at(s, w);
-            if (way.valid && way.tag == line_addr)
-                return &way.line;
-        }
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(line_addr)) * ways;
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (tags[base + w] == line_addr)
+                return &lines[base + w];
         return nullptr;
     }
 
@@ -107,21 +108,20 @@ class CacheArray
     {
         line_addr = lineAlign(line_addr);
         const std::uint32_t s = setIndex(line_addr);
+        const std::size_t base = static_cast<std::size_t>(s) * ways;
         for (std::uint32_t w = 0; w < ways; ++w) {
-            Way &way = at(s, w);
-            if (!way.valid) {
-                way.valid = true;
-                way.tag = line_addr;
-                way.line = std::move(line);
+            if (tags[base + w] == badTag) {
+                tags[base + w] = line_addr;
+                lines[base + w] = std::move(line);
                 lru[s].touch(w);
                 return std::nullopt;
             }
         }
         const std::uint32_t v = lru[s].victim();
-        Way &way = at(s, v);
-        std::pair<Addr, LineT> evicted{way.tag, std::move(way.line)};
-        way.tag = line_addr;
-        way.line = std::move(line);
+        std::pair<Addr, LineT> evicted{tags[base + v],
+                                       std::move(lines[base + v])};
+        tags[base + v] = line_addr;
+        lines[base + v] = std::move(line);
         lru[s].touch(v);
         return evicted;
     }
@@ -131,12 +131,12 @@ class CacheArray
     invalidate(Addr line_addr)
     {
         line_addr = lineAlign(line_addr);
-        const std::uint32_t s = setIndex(line_addr);
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(line_addr)) * ways;
         for (std::uint32_t w = 0; w < ways; ++w) {
-            Way &way = at(s, w);
-            if (way.valid && way.tag == line_addr) {
-                way.valid = false;
-                return std::move(way.line);
+            if (tags[base + w] == line_addr) {
+                tags[base + w] = badTag;
+                return std::move(lines[base + w]);
             }
         }
         return std::nullopt;
@@ -153,14 +153,15 @@ class CacheArray
     allocWay(Addr line_addr, Pred &&can_evict) const
     {
         const std::uint32_t s = setIndex(lineAlign(line_addr));
+        const std::size_t base = static_cast<std::size_t>(s) * ways;
         for (std::uint32_t w = 0; w < ways; ++w)
-            if (!at(s, w).valid)
+            if (tags[base + w] == badTag)
                 return w;
         const std::uint32_t v = lru[s].victim();
-        if (can_evict(at(s, v).tag))
+        if (can_evict(tags[base + v]))
             return v;
         for (std::uint32_t w = 0; w < ways; ++w)
-            if (can_evict(at(s, w).tag))
+            if (can_evict(tags[base + w]))
                 return w;
         return std::nullopt;
     }
@@ -169,8 +170,10 @@ class CacheArray
     std::optional<Addr>
     occupant(Addr line_addr, std::uint32_t way) const
     {
-        const Way &w = at(setIndex(lineAlign(line_addr)), way);
-        return w.valid ? std::optional<Addr>(w.tag) : std::nullopt;
+        const Addr t = tags[static_cast<std::size_t>(
+                                setIndex(lineAlign(line_addr))) * ways
+                            + way];
+        return t != badTag ? std::optional<Addr>(t) : std::nullopt;
     }
 
     /** Install @p line into @p way, replacing any occupant. */
@@ -179,10 +182,9 @@ class CacheArray
     {
         line_addr = lineAlign(line_addr);
         const std::uint32_t s = setIndex(line_addr);
-        Way &w = at(s, way);
-        w.valid = true;
-        w.tag = line_addr;
-        w.line = std::move(line);
+        const std::size_t base = static_cast<std::size_t>(s) * ways;
+        tags[base + way] = line_addr;
+        lines[base + way] = std::move(line);
         lru[s].touch(way);
     }
 
@@ -191,8 +193,8 @@ class CacheArray
     validLines() const
     {
         std::uint64_t n = 0;
-        for (const Way &w : arr)
-            if (w.valid)
+        for (const Addr t : tags)
+            if (t != badTag)
                 ++n;
         return n;
     }
@@ -202,21 +204,20 @@ class CacheArray
     void
     forEach(F &&f) const
     {
-        for (const Way &w : arr)
-            if (w.valid)
-                f(w.tag, w.line);
+        for (std::size_t i = 0; i < tags.size(); ++i)
+            if (tags[i] != badTag)
+                f(tags[i], lines[i]);
     }
 
   private:
-    Way &at(std::uint32_t s, std::uint32_t w)
-    { return arr[static_cast<std::size_t>(s) * ways + w]; }
-    const Way &at(std::uint32_t s, std::uint32_t w) const
-    { return arr[static_cast<std::size_t>(s) * ways + w]; }
+    /// Invalid-way sentinel; never a line-aligned address.
+    static constexpr Addr badTag = ~Addr{0};
 
     std::uint32_t sets;
     std::uint32_t ways;
     std::uint32_t indexShift;
-    std::vector<Way> arr;
+    std::vector<Addr> tags;   ///< badTag where the way is invalid
+    std::vector<LineT> lines; ///< payload parallel to tags
     std::vector<PseudoLru> lru;
 };
 

@@ -23,11 +23,60 @@ DirectorySlice::DirectorySlice(MemNet &net_, CoreId tile_,
       dir(p_.dirEntries / p_.dirWays, p_.dirWays,
           lineShift + log2i(net_.cores())),
       stats(name),
+      stGetS(stats.counter("getS")),
+      stGetX(stats.counter("getX")),
+      stUpdX(stats.counter("updX")),
+      stPutM(stats.counter("putM")),
+      stPutS(stats.counter("putS")),
+      stPutE(stats.counter("putE")),
+      stIfetch(stats.counter("ifetch")),
+      stDmaRead(stats.counter("dmaRead")),
+      stDmaWrite(stats.counter("dmaWrite")),
+      stQueuedRequests(stats.counter("queuedRequests")),
+      stFwdGetS(stats.counter("fwdGetS")),
+      stFwdGetX(stats.counter("fwdGetX")),
+      stInvalidationsSent(stats.counter("invalidationsSent")),
+      stUpdatesSent(stats.counter("updatesSent")),
+      stL2Hits(stats.counter("l2Hits")),
+      stL2Misses(stats.counter("l2Misses")),
+      stL2DirtyEvictions(stats.counter("l2DirtyEvictions")),
+      stMemWbForwards(stats.counter("memWbForwards")),
+      stMemWriteAcks(stats.counter("memWriteAcks")),
+      stAllocRetries(stats.counter("allocRetries")),
+      stRecalls(stats.counter("recalls")),
+      stStalePuts(stats.counter("stalePuts")),
       txnLatency(stats.histogram(
           "txnLatency", {16, 32, 64, 128, 256, 512, 1024, 2048})),
       txnOccupancy(stats.histogram("txnOccupancy",
                                    {1, 2, 4, 8, 16, 24, 32, 48}))
 {
+}
+
+DirectorySlice::Txn *
+DirectorySlice::acquireTxn()
+{
+    if (txnFree.empty()) {
+        txnStore.push_back(std::make_unique<Txn>());
+        return txnStore.back().get();
+    }
+    Txn *t = txnFree.back();
+    txnFree.pop_back();
+    return t;
+}
+
+void
+DirectorySlice::releaseTxn(Txn *t)
+{
+    t->kind = TxnKind::Request;
+    t->startedAt = 0;
+    t->queued.clear();
+    t->pendingAcks = 0;
+    t->wantData = false;
+    t->haveData = false;
+    t->dataDirty = false;
+    t->onComplete = nullptr;
+    t->awaitingUnblock = false;
+    txnFree.push_back(t);
 }
 
 std::optional<DirectorySlice::EntrySnapshot>
@@ -61,8 +110,8 @@ DirectorySlice::handle(const Message &msg)
       case MsgType::DmaRead:
       case MsgType::DmaWrite:
         if (auto it = busy.find(la); it != busy.end()) {
-            it->second.queued.push_back(msg);
-            ++stats.counter("queuedRequests");
+            it->second->queued.push_back(msg);
+            ++stQueuedRequests;
         } else {
             startTxn(msg);
         }
@@ -79,7 +128,7 @@ DirectorySlice::handle(const Message &msg)
         onMemResp(msg);
         break;
       case MsgType::MemWriteAck: {
-        ++stats.counter("memWriteAcks");
+        ++stMemWriteAcks;
         auto it = memWb.find(la);
         if (it == memWb.end())
             panic("DirectorySlice: stray MemWriteAck");
@@ -99,10 +148,10 @@ void
 DirectorySlice::startTxn(const Message &req)
 {
     const Addr la = lineAlign(req.addr);
-    Txn t;
-    t.startedAt = net.events().now();
-    t.req = req;
-    busy.emplace(la, std::move(t));
+    Txn *t = acquireTxn();
+    t->startedAt = net.events().now();
+    t->req = req;
+    busy.emplace(la, t);
     sampleTxnOccupancy();
     net.events().scheduleIn(p.dirLatency, [this, la] { dispatch(la); });
 }
@@ -110,7 +159,7 @@ DirectorySlice::startTxn(const Message &req)
 void
 DirectorySlice::dispatch(Addr la)
 {
-    Txn &t = busy.at(la);
+    Txn &t = *busy.at(la);
     switch (t.req.type) {
       case MsgType::GetS:      handleGetS(la, t); break;
       case MsgType::GetX:      handleGetX(la, t); break;
@@ -129,15 +178,16 @@ DirectorySlice::dispatch(Addr la)
 void
 DirectorySlice::handleGetS(Addr la, Txn &t)
 {
-    ++stats.counter("getS");
+    ++stGetS;
     const CoreId r = t.req.requestor;
     const TrafficClass cls = t.req.cls;
+    Txn *tp = &t;
     DirEntry *de = dir.lookup(la);
 
     if (de && (de->state == DirState::Excl ||
                de->state == DirState::Owned)) {
         // Freshest copy is at the owner: forward.
-        ++stats.counter("fwdGetS");
+        ++stFwdGetS;
         Message f;
         f.type = MsgType::FwdGetS;
         f.addr = la;
@@ -145,8 +195,8 @@ DirectorySlice::handleGetS(Addr la, Txn &t)
         f.cls = cls;
         net.send(tile, Endpoint::L1D, de->owner, f, cls);
         t.wantData = true;
-        t.onComplete = [this, la, r, cls] {
-            Txn &tx = busy.at(la);
+        t.onComplete = [this, tp, la, r, cls] {
+            Txn &tx = *tp;
             DirEntry *e = dir.lookup(la);
             if (!e)
                 panic("DirectorySlice: entry vanished during GetS");
@@ -175,8 +225,8 @@ DirectorySlice::handleGetS(Addr la, Txn &t)
     if (de) {
         // Shared: L2/memory data is valid.
         de->sharers |= bit(r);
-        t.onComplete = [this, la, r, cls] {
-            Txn &tx = busy.at(la);
+        t.onComplete = [this, tp, la, r, cls] {
+            Txn &tx = *tp;
             respond(r, Endpoint::L1D, MsgType::DataS, la, &tx.data,
                     cls);
             tx.awaitingUnblock = true;
@@ -190,13 +240,13 @@ DirectorySlice::handleGetS(Addr la, Txn &t)
     ne.state = DirState::Excl;
     ne.owner = r;
     if (!allocEntry(la, ne)) {
-        ++stats.counter("allocRetries");
+        ++stAllocRetries;
         net.events().scheduleIn(p.retryDelay,
                                 [this, la] { dispatch(la); });
         return;
     }
-    t.onComplete = [this, la, r, cls] {
-        Txn &tx = busy.at(la);
+    t.onComplete = [this, tp, la, r, cls] {
+        Txn &tx = *tp;
         respond(r, Endpoint::L1D, MsgType::DataE, la, &tx.data, cls);
         tx.awaitingUnblock = true;
     };
@@ -206,9 +256,10 @@ DirectorySlice::handleGetS(Addr la, Txn &t)
 void
 DirectorySlice::handleGetX(Addr la, Txn &t)
 {
-    ++stats.counter("getX");
+    ++stGetX;
     const CoreId r = t.req.requestor;
     const TrafficClass cls = t.req.cls;
+    Txn *tp = &t;
     DirEntry *de = dir.lookup(la);
 
     if (!de) {
@@ -216,13 +267,13 @@ DirectorySlice::handleGetX(Addr la, Txn &t)
         ne.state = DirState::Excl;
         ne.owner = r;
         if (!allocEntry(la, ne)) {
-            ++stats.counter("allocRetries");
+            ++stAllocRetries;
             net.events().scheduleIn(p.retryDelay,
                                     [this, la] { dispatch(la); });
             return;
         }
-        t.onComplete = [this, la, r, cls] {
-            Txn &tx = busy.at(la);
+        t.onComplete = [this, tp, la, r, cls] {
+            Txn &tx = *tp;
             respond(r, Endpoint::L1D, MsgType::DataM, la, &tx.data,
                     cls);
             tx.awaitingUnblock = true;
@@ -235,7 +286,7 @@ DirectorySlice::handleGetX(Addr la, Txn &t)
         if (de->owner == r)
             panic("DirectorySlice: GetX from exclusive owner: addr " +
                   std::to_string(la) + " core " + std::to_string(r));
-        ++stats.counter("fwdGetX");
+        ++stFwdGetX;
         Message f;
         f.type = MsgType::FwdGetX;
         f.addr = la;
@@ -243,8 +294,8 @@ DirectorySlice::handleGetX(Addr la, Txn &t)
         f.cls = cls;
         net.send(tile, Endpoint::L1D, de->owner, f, cls);
         t.wantData = true;
-        t.onComplete = [this, la, r, cls] {
-            Txn &tx = busy.at(la);
+        t.onComplete = [this, tp, la, r, cls] {
+            Txn &tx = *tp;
             DirEntry *e = dir.lookup(la);
             e->state = DirState::Excl;
             e->owner = r;
@@ -280,8 +331,8 @@ DirectorySlice::handleGetX(Addr la, Txn &t)
     } else {
         fetchData(la, cls);
     }
-    t.onComplete = [this, la, r, cls] {
-        Txn &tx = busy.at(la);
+    t.onComplete = [this, tp, la, r, cls] {
+        Txn &tx = *tp;
         DirEntry *e = dir.lookup(la);
         e->state = DirState::Excl;
         e->owner = r;
@@ -289,16 +340,17 @@ DirectorySlice::handleGetX(Addr la, Txn &t)
         respond(r, Endpoint::L1D, MsgType::DataM, la, &tx.data, cls);
         tx.awaitingUnblock = true;
     };
-    checkDone(la);
+    checkDone(t);
     return;
 }
 
 void
 DirectorySlice::handleUpdX(Addr la, Txn &t)
 {
-    ++stats.counter("updX");
+    ++stUpdX;
     const CoreId r = t.req.requestor;
     const TrafficClass cls = t.req.cls;
+    Txn *tp = &t;
     DirEntry *de = dir.lookup(la);
 
     if (!de || de->state == DirState::Excl) {
@@ -321,10 +373,10 @@ DirectorySlice::handleUpdX(Addr la, Txn &t)
     }
     de->state = DirState::Shared;
     de->sharers = sharers | bit(r);
-    t.onComplete = [this, la, r, cls] {
+    t.onComplete = [this, tp, la, r, cls] {
         // Stage 1: line data is here; apply the word, refresh the
         // L2 copy, and fan the update out.
-        Txn &tx = busy.at(la);
+        Txn &tx = *tp;
         tx.data.writeN(lineOffset(tx.req.addr),
                        static_cast<std::uint32_t>(tx.req.aux),
                        tx.req.data.read64(0));
@@ -341,13 +393,13 @@ DirectorySlice::handleUpdX(Addr la, Txn &t)
         }
         // Stage 2: every UpdAck is in; hand the post-write line
         // back to the writer, which stays Shared.
-        tx.onComplete = [this, la, r, cls] {
-            Txn &tx2 = busy.at(la);
+        tx.onComplete = [this, tp, la, r, cls] {
+            Txn &tx2 = *tp;
             respond(r, Endpoint::L1D, MsgType::UpdData, la, &tx2.data,
                     cls);
             tx2.awaitingUnblock = true;
         };
-        checkDone(la);
+        checkDone(tx);
     };
     fetchData(la, cls);
 }
@@ -355,7 +407,7 @@ DirectorySlice::handleUpdX(Addr la, Txn &t)
 void
 DirectorySlice::handlePutM(Addr la, Txn &t)
 {
-    ++stats.counter("putM");
+    ++stPutM;
     const CoreId r = t.req.requestor;
     DirEntry *de = dir.lookup(la);
     if (de && de->owner == r &&
@@ -368,7 +420,7 @@ DirectorySlice::handlePutM(Addr la, Txn &t)
             dir.invalidate(la);
         }
     } else {
-        ++stats.counter("stalePuts");
+        ++stStalePuts;
     }
     respond(r, Endpoint::L1D, MsgType::PutAck, la, nullptr,
             TrafficClass::WbRepl);
@@ -378,7 +430,7 @@ DirectorySlice::handlePutM(Addr la, Txn &t)
 void
 DirectorySlice::handlePutShared(Addr la, Txn &t)
 {
-    ++stats.counter(t.req.type == MsgType::PutE ? "putE" : "putS");
+    ++(t.req.type == MsgType::PutE ? stPutE : stPutS);
     const CoreId r = t.req.requestor;
     DirEntry *de = dir.lookup(la);
     if (de) {
@@ -391,7 +443,7 @@ DirectorySlice::handlePutShared(Addr la, Txn &t)
                 dir.invalidate(la);
         }
     } else {
-        ++stats.counter("stalePuts");
+        ++stStalePuts;
     }
     respond(r, Endpoint::L1D, MsgType::PutAck, la, nullptr,
             TrafficClass::WbRepl);
@@ -401,10 +453,11 @@ DirectorySlice::handlePutShared(Addr la, Txn &t)
 void
 DirectorySlice::handleIfetch(Addr la, Txn &t)
 {
-    ++stats.counter("ifetch");
+    ++stIfetch;
     const CoreId r = t.req.requestor;
-    t.onComplete = [this, la, r] {
-        Txn &tx = busy.at(la);
+    Txn *tp = &t;
+    t.onComplete = [this, tp, la, r] {
+        Txn &tx = *tp;
         respond(r, Endpoint::L1I, MsgType::DataS, la, &tx.data,
                 TrafficClass::Ifetch);
         tx.awaitingUnblock = true;
@@ -415,12 +468,13 @@ DirectorySlice::handleIfetch(Addr la, Txn &t)
 void
 DirectorySlice::handleDmaRead(Addr la, Txn &t)
 {
-    ++stats.counter("dmaRead");
+    ++stDmaRead;
     const CoreId r = t.req.requestor;
     const std::uint64_t tag = t.req.aux;
+    Txn *tp = &t;
     DirEntry *de = dir.lookup(la);
-    t.onComplete = [this, la, r, tag] {
-        Txn &tx = busy.at(la);
+    t.onComplete = [this, tp, la, r, tag] {
+        Txn &tx = *tp;
         respond(r, Endpoint::Dmac, MsgType::DmaReadResp, la, &tx.data,
                 TrafficClass::Dma, tag);
         finishTxn(la);
@@ -443,9 +497,10 @@ DirectorySlice::handleDmaRead(Addr la, Txn &t)
 void
 DirectorySlice::handleDmaWrite(Addr la, Txn &t)
 {
-    ++stats.counter("dmaWrite");
+    ++stDmaWrite;
     const CoreId r = t.req.requestor;
     const std::uint64_t tag = t.req.aux;
+    Txn *tp = &t;
     DirEntry *de = dir.lookup(la);
     if (de) {
         std::uint64_t targets = de->sharers;
@@ -460,8 +515,8 @@ DirectorySlice::handleDmaWrite(Addr la, Txn &t)
         dir.invalidate(la);
     }
     l2.invalidate(la);
-    t.onComplete = [this, la, r, tag] {
-        Txn &tx = busy.at(la);
+    t.onComplete = [this, tp, la, r, tag] {
+        Txn &tx = *tp;
         // The whole line is overwritten; cached dirty data (if any
         // arrived via InvAckData) is dead.
         Message w;
@@ -480,7 +535,7 @@ DirectorySlice::handleDmaWrite(Addr la, Txn &t)
                 TrafficClass::Dma, tag);
         finishTxn(la);
     };
-    checkDone(la);
+    checkDone(t);
 }
 
 void
@@ -490,7 +545,7 @@ DirectorySlice::onAck(const Message &msg)
     auto it = busy.find(la);
     if (it == busy.end())
         panic("DirectorySlice: ack for idle line");
-    Txn &t = it->second;
+    Txn &t = *it->second;
     if (t.pendingAcks == 0)
         panic("DirectorySlice: unexpected ack");
     --t.pendingAcks;
@@ -499,7 +554,7 @@ DirectorySlice::onAck(const Message &msg)
         t.haveData = true;
         t.dataDirty = true;
     }
-    checkDone(la);
+    checkDone(t);
 }
 
 void
@@ -509,11 +564,11 @@ DirectorySlice::onFwdData(const Message &msg)
     auto it = busy.find(la);
     if (it == busy.end())
         panic("DirectorySlice: forward data for idle line");
-    Txn &t = it->second;
+    Txn &t = *it->second;
     t.data = msg.data;
     t.haveData = true;
     t.dataDirty = msg.dirty;
-    checkDone(la);
+    checkDone(t);
 }
 
 void
@@ -523,7 +578,7 @@ DirectorySlice::onMemResp(const Message &msg)
     auto it = busy.find(la);
     if (it == busy.end())
         panic("DirectorySlice: memory response for idle line");
-    Txn &t = it->second;
+    Txn &t = *it->second;
     // Cache the fill in the NUCA slice; DMA fills are included by
     // default (the GM "includes caches and main memory", Sec. 2.1)
     // but can be excluded to study pollution.
@@ -532,37 +587,38 @@ DirectorySlice::onMemResp(const Message &msg)
     t.data = msg.data;
     t.haveData = true;
     t.dataDirty = false;
-    checkDone(la);
+    checkDone(t);
 }
 
 void
 DirectorySlice::fetchData(Addr la, TrafficClass cls)
 {
-    Txn &t = busy.at(la);
+    Txn &t = *busy.at(la);
+    Txn *tp = &t;
     t.wantData = true;
     if (auto wit = memWb.find(la); wit != memWb.end()) {
         // Forward from the in-flight writeback (ordering safety).
-        ++stats.counter("memWbForwards");
-        const LineData d = wit->second.first;
-        net.events().scheduleIn(p.l2Latency, [this, la, d] {
-            Txn &tx = busy.at(la);
-            tx.data = d;
+        ++stMemWbForwards;
+        t.fill = wit->second.first;
+        net.events().scheduleIn(p.l2Latency, [this, tp, la] {
+            Txn &tx = *tp;
+            tx.data = tx.fill;
             tx.haveData = true;
-            checkDone(la);
+            checkDone(tx);
         });
         return;
     }
     if (const L2Line *l = l2.lookup(la)) {
-        ++stats.counter("l2Hits");
-        const LineData d = l->data;
-        net.events().scheduleIn(p.l2Latency, [this, la, d] {
-            Txn &tx = busy.at(la);
-            tx.data = d;
+        ++stL2Hits;
+        t.fill = l->data;
+        net.events().scheduleIn(p.l2Latency, [this, tp, la] {
+            Txn &tx = *tp;
+            tx.data = tx.fill;
             tx.haveData = true;
-            checkDone(la);
+            checkDone(tx);
         });
     } else {
-        ++stats.counter("l2Misses");
+        ++stL2Misses;
         Message m;
         m.type = MsgType::MemRead;
         m.addr = la;
@@ -586,7 +642,7 @@ DirectorySlice::l2Insert(Addr la, const LineData &d, bool dirty)
     nl.dirty = dirty;
     auto evicted = l2.insert(la, std::move(nl));
     if (evicted && evicted->second.dirty) {
-        ++stats.counter("l2DirtyEvictions");
+        ++stL2DirtyEvictions;
         Message w;
         w.type = MsgType::MemWrite;
         w.addr = evicted->first;
@@ -615,16 +671,16 @@ DirectorySlice::allocEntry(Addr la, DirEntry e)
         // recall runs as an independent transaction on the victim
         // line; the new entry takes the slot immediately.
         const DirEntry snapshot = *dir.peek(*victim);
-        ++stats.counter("recalls");
-        Txn rt;
-        rt.kind = TxnKind::Recall;
-        rt.startedAt = net.events().now();
-        rt.req.type = MsgType::Inv;
-        rt.req.addr = *victim;
+        ++stRecalls;
         const Addr va = *victim;
-        busy.emplace(va, std::move(rt));
+        Txn *rt = acquireTxn();
+        rt->kind = TxnKind::Recall;
+        rt->startedAt = net.events().now();
+        rt->req.type = MsgType::Inv;
+        rt->req.addr = va;
+        busy.emplace(va, rt);
         sampleTxnOccupancy();
-        Txn &recall = busy.at(va);
+        Txn &recall = *rt;
         std::uint64_t targets = snapshot.sharers;
         if (snapshot.owner != invalidCore)
             targets |= bit(snapshot.owner);
@@ -634,13 +690,13 @@ DirectorySlice::allocEntry(Addr la, DirEntry e)
                 ++recall.pendingAcks;
             }
         }
-        recall.onComplete = [this, va] {
-            Txn &tx = busy.at(va);
+        recall.onComplete = [this, rt, va] {
+            Txn &tx = *rt;
             if (tx.dataDirty)
                 l2Insert(va, tx.data, true);
             finishTxn(va);
         };
-        checkDone(va);
+        checkDone(recall);
     }
     dir.fillWay(la, *way, e);
     return true;
@@ -650,7 +706,7 @@ void
 DirectorySlice::sendInv(CoreId target, Addr la, CoreId requestor,
                         TrafficClass cls)
 {
-    ++stats.counter("invalidationsSent");
+    ++stInvalidationsSent;
     Message m;
     m.type = MsgType::Inv;
     m.addr = la;
@@ -663,7 +719,7 @@ void
 DirectorySlice::sendUpdate(CoreId target, Addr la, CoreId requestor,
                            const LineData &d, TrafficClass cls)
 {
-    ++stats.counter("updatesSent");
+    ++stUpdatesSent;
     Message m;
     m.type = MsgType::Update;
     m.addr = la;
@@ -697,7 +753,7 @@ DirectorySlice::onUnblock(const Message &msg)
 {
     const Addr la = lineAlign(msg.addr);
     auto it = busy.find(la);
-    if (it == busy.end() || !it->second.awaitingUnblock)
+    if (it == busy.end() || !it->second->awaitingUnblock)
         panic("DirectorySlice: unexpected Unblock");
     finishTxn(la);
 }
@@ -708,7 +764,12 @@ DirectorySlice::checkDone(Addr la)
     auto it = busy.find(la);
     if (it == busy.end())
         return;
-    Txn &t = it->second;
+    checkDone(*it->second);
+}
+
+void
+DirectorySlice::checkDone(Txn &t)
+{
     if (t.pendingAcks != 0)
         return;
     if (t.wantData && !t.haveData)
@@ -724,15 +785,19 @@ void
 DirectorySlice::finishTxn(Addr la)
 {
     auto it = busy.find(la);
-    Txn old = std::move(it->second);
+    Txn *old = it->second;
     busy.erase(it);
-    txnLatency.sample(net.events().now() - old.startedAt);
+    txnLatency.sample(net.events().now() - old->startedAt);
     sampleTxnOccupancy();
-    if (!old.queued.empty()) {
-        Message next = old.queued.front();
-        old.queued.pop_front();
+    if (!old->queued.empty()) {
+        Message next = std::move(old->queued.front());
+        old->queued.erase(old->queued.begin());
+        std::vector<Message> rest = std::move(old->queued);
+        releaseTxn(old);
         startTxn(next);
-        busy.at(lineAlign(next.addr)).queued = std::move(old.queued);
+        busy.at(lineAlign(next.addr))->queued = std::move(rest);
+    } else {
+        releaseTxn(old);
     }
 }
 

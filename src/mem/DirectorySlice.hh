@@ -20,14 +20,15 @@
 #ifndef SPMCOH_MEM_DIRECTORYSLICE_HH
 #define SPMCOH_MEM_DIRECTORYSLICE_HH
 
-#include <deque>
-#include <functional>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/CacheArray.hh"
 #include "mem/MemNet.hh"
 #include "mem/Messages.hh"
 #include "protocols/ProtocolFactory.hh"
+#include "sim/SmallFunction.hh"
 #include "sim/Stats.hh"
 
 namespace spmcoh
@@ -108,22 +109,38 @@ class DirectorySlice
         TxnKind kind = TxnKind::Request;
         Tick startedAt = 0;  ///< for the txnLatency histogram
         Message req;
-        std::deque<Message> queued;
+        std::vector<Message> queued;
         std::uint32_t pendingAcks = 0;
         bool wantData = false;
         bool haveData = false;
         bool dataDirty = false;
         LineData data{};
+        /** Staging slot for a scheduled L2/WB-buffer fill, written at
+         *  schedule time so the fill closure capture stays
+         *  pointer-sized (snapshot semantics are preserved: the
+         *  closure copies fill into data at fire time, exactly like
+         *  the old by-value capture did). */
+        LineData fill{};
         /** Runs when acks are in and data (if wanted) is present. */
-        std::function<void()> onComplete;
+        SmallFunction<void()> onComplete;
         /** Response sent; waiting for the requestor's Unblock. */
         bool awaitingUnblock = false;
     };
+
+    /**
+     * Transactions are pooled: slots are recycled LIFO and keep
+     * their queued-request capacity, so steady state allocates
+     * nothing per transaction. Closures may capture the Txn* — the
+     * address is stable until finishTxn() releases the slot.
+     */
+    Txn *acquireTxn();
+    void releaseTxn(Txn *t);
 
     void startTxn(const Message &req);
     void dispatch(Addr la);
     void finishTxn(Addr la);
     void checkDone(Addr la);
+    void checkDone(Txn &t);
     void onUnblock(const Message &msg);
 
     void handleGetS(Addr la, Txn &t);
@@ -174,13 +191,39 @@ class DirectorySlice
     DirSliceParams p;
     CacheArray<L2Line> l2;
     CacheArray<DirEntry> dir;
-    std::unordered_map<Addr, Txn> busy;
+    std::unordered_map<Addr, Txn *> busy;
+    std::vector<std::unique_ptr<Txn>> txnStore;
+    std::vector<Txn *> txnFree;
     /** Lines with a MemWrite in flight to the memory controller; a
      *  later MemRead could overtake the (larger) write packet, so
      *  reads are served from this buffer instead. */
     std::unordered_map<Addr, std::pair<LineData, std::uint32_t>>
         memWb;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction (the
+     *  string-keyed map is registration/export only). */
+    Counter &stGetS;
+    Counter &stGetX;
+    Counter &stUpdX;
+    Counter &stPutM;
+    Counter &stPutS;
+    Counter &stPutE;
+    Counter &stIfetch;
+    Counter &stDmaRead;
+    Counter &stDmaWrite;
+    Counter &stQueuedRequests;
+    Counter &stFwdGetS;
+    Counter &stFwdGetX;
+    Counter &stInvalidationsSent;
+    Counter &stUpdatesSent;
+    Counter &stL2Hits;
+    Counter &stL2Misses;
+    Counter &stL2DirtyEvictions;
+    Counter &stMemWbForwards;
+    Counter &stMemWriteAcks;
+    Counter &stAllocRetries;
+    Counter &stRecalls;
+    Counter &stStalePuts;
     /** Start-to-finish latency of every directory transaction. */
     Histogram &txnLatency;
     /** Concurrent blocked-line transactions, sampled on txn

@@ -25,6 +25,25 @@ L1Cache::L1Cache(MemNet &net_, CoreId core_, bool icache_,
       prefetcher(icache_ ? PrefetcherParams{.enabled = false}
                          : p_.prefetcher),
       stats(name),
+      stAccesses(stats.counter("accesses")),
+      stHits(stats.counter("hits")),
+      stMisses(stats.counter("misses")),
+      stFills(stats.counter("fills")),
+      stEvictions(stats.counter("evictions")),
+      stDirtyWritebacks(stats.counter("dirtyWritebacks")),
+      stMshrMerges(stats.counter("mshrMerges")),
+      stMshrFullRejects(stats.counter("mshrFullRejects")),
+      stUpgrades(stats.counter("upgrades")),
+      stPrefetchesIssued(stats.counter("prefetchesIssued")),
+      stUsefulPrefetches(stats.counter("usefulPrefetches")),
+      stWastedPrefetches(stats.counter("wastedPrefetches")),
+      stStalePutAcks(stats.counter("stalePutAcks")),
+      stForwardsServiced(stats.counter("forwardsServiced")),
+      stForwardsFromWbBuffer(stats.counter("forwardsFromWbBuffer")),
+      stInvalidationsReceived(stats.counter("invalidationsReceived")),
+      stUpdatesReceived(stats.counter("updatesReceived")),
+      stStaleUpdates(stats.counter("staleUpdates")),
+      stUpdXSent(stats.counter("updXSent")),
       mshrOccupancy(stats.histogram("mshrOccupancy",
                                     {1, 2, 4, 8, 16, 24, 32, 48}))
 {
@@ -52,7 +71,7 @@ L1Cache::tryAccess(Addr addr, std::uint8_t size, bool is_write,
 {
     if (lineOffset(addr) + size > lineBytes)
         panic("L1Cache: access crosses a line boundary");
-    ++stats.counter("accesses");
+    ++stAccesses;
     Line *line = array.lookup(addr);
     trainPrefetcher(ref_id, addr, at);
     if (!line)
@@ -63,9 +82,9 @@ L1Cache::tryAccess(Addr addr, std::uint8_t size, bool is_write,
     }
     if (line->prefetched && !line->used) {
         line->used = true;
-        ++stats.counter("usefulPrefetches");
+        ++stUsefulPrefetches;
     }
-    ++stats.counter("hits");
+    ++stHits;
     lat = p.hitLatency;
     if (is_write) {
         line->state = L1State::M;
@@ -133,14 +152,14 @@ L1Cache::startAccess(Addr addr, std::uint8_t size, bool is_write,
         e->isPrefetch = false;
         if (is_write)
             e->wantExclusive = true;
-        ++stats.counter("mshrMerges");
+        ++stMshrMerges;
         return true;
     }
     if (mshr.full()) {
-        ++stats.counter("mshrFullRejects");
+        ++stMshrFullRejects;
         return false;
     }
-    ++stats.counter("misses");
+    ++stMisses;
     MshrEntry &e = mshr.alloc(la);
     sampleMshrOccupancy();
     e.wantExclusive = is_write;
@@ -188,7 +207,7 @@ L1Cache::issuePrefetch(Addr line_addr)
     e.isPrefetch = true;
     e.issued = true;
     ++prefetchesInFlight;
-    ++stats.counter("prefetchesIssued");
+    ++stPrefetchesIssued;
     sendToDir(MsgType::GetS, line_addr, TrafficClass::Read, false,
               nullptr, false, true);
 }
@@ -226,7 +245,7 @@ L1Cache::handle(const Message &msg)
       case MsgType::PutAck: {
         auto it = wbBuffer.find(lineAlign(msg.addr));
         if (it == wbBuffer.end()) {
-            ++stats.counter("stalePutAcks");
+            ++stStalePutAcks;
         } else if (--it->second.pendingPuts == 0) {
             wbBuffer.erase(it);
         }
@@ -321,7 +340,7 @@ L1Cache::processTargets(Addr line_addr, bool first_write_done)
                 ne.isPrefetch = false;
                 ne.issued = true;
                 ne.targets = std::move(e.targets);
-                ++stats.counter("upgrades");
+                ++stUpgrades;
                 if (proto.storeRequest(pstateOf(line->state)) ==
                     MsgType::UpdX) {
                     sendUpdX(line_addr, ne.targets.front());
@@ -356,7 +375,7 @@ L1Cache::installLine(Addr line_addr, L1State st, const LineData &d,
     nl.prefetched = prefetch_fill;
     nl.used = !prefetch_fill;
     auto evicted = array.insert(line_addr, std::move(nl));
-    ++stats.counter("fills");
+    ++stFills;
     if (evicted)
         evict(evicted->first, std::move(evicted->second));
 }
@@ -367,9 +386,9 @@ L1Cache::evict(Addr line_addr, Line &&victim)
     if (trace_line && line_addr == trace_line)
         std::fprintf(stderr, "[l1%s%u t%llu] evict state=%d\n", icache?"i":"d", core,
             (unsigned long long)net.events().now(), int(victim.state));
-    ++stats.counter("evictions");
+    ++stEvictions;
     if (victim.prefetched && !victim.used)
-        ++stats.counter("wastedPrefetches");
+        ++stWastedPrefetches;
     if (icache)
         return;     // untracked read-only lines vanish silently
     const MsgType put = proto.replacement(pstateOf(victim.state));
@@ -378,7 +397,7 @@ L1Cache::evict(Addr line_addr, Line &&victim)
     wb.data = victim.data;
     ++wb.pendingPuts;
     if (put == MsgType::PutM) {
-        ++stats.counter("dirtyWritebacks");
+        ++stDirtyWritebacks;
         sendToDir(MsgType::PutM, line_addr, TrafficClass::WbRepl, true,
                   &victim.data, true);
     } else {
@@ -391,7 +410,7 @@ L1Cache::onFwd(const Message &msg)
 {
     const Addr la = lineAlign(msg.addr);
     const bool is_getx = msg.type == MsgType::FwdGetX;
-    ++stats.counter("forwardsServiced");
+    ++stForwardsServiced;
 
     LineData data;
     bool dirty = false;
@@ -411,7 +430,7 @@ L1Cache::onFwd(const Message &msg)
                 it->second.state == L1State::O;
         if (is_getx)
             it->second.state = L1State::S;  // data handed over
-        ++stats.counter("forwardsFromWbBuffer");
+        ++stForwardsFromWbBuffer;
     } else {
         panic("L1Cache: forward for a line we do not own: core " +
                std::to_string(core) + " addr " + std::to_string(la) +
@@ -435,7 +454,7 @@ void
 L1Cache::onInv(const Message &msg)
 {
     const Addr la = lineAlign(msg.addr);
-    ++stats.counter("invalidationsReceived");
+    ++stInvalidationsReceived;
     LineData data;
     bool dirty = false;
     if (auto victim = array.invalidate(la)) {
@@ -464,7 +483,7 @@ void
 L1Cache::onUpdate(const Message &msg)
 {
     const Addr la = lineAlign(msg.addr);
-    ++stats.counter("updatesReceived");
+    ++stUpdatesReceived;
     if (Line *line = array.lookup(la)) {
         const Transition &t =
             proto.transition(pstateOf(line->state), PEvent::Update);
@@ -476,7 +495,7 @@ L1Cache::onUpdate(const Message &msg)
         // a forward served from it still sees the latest data.
         it->second.data = msg.data;
     } else {
-        ++stats.counter("staleUpdates");
+        ++stStaleUpdates;
     }
     Message resp;
     resp.type = MsgType::UpdAck;
@@ -489,7 +508,7 @@ L1Cache::onUpdate(const Message &msg)
 void
 L1Cache::sendUpdX(Addr line_addr, const MshrTarget &t)
 {
-    ++stats.counter("updXSent");
+    ++stUpdXSent;
     Message m;
     m.type = MsgType::UpdX;
     m.addr = t.addr;    // exact address: the slice applies the word

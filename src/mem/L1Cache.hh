@@ -215,6 +215,26 @@ class L1Cache
     std::uint32_t prefetchesInFlight = 0;
     std::function<void()> mshrFreeCb;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction. */
+    Counter &stAccesses;
+    Counter &stHits;
+    Counter &stMisses;
+    Counter &stFills;
+    Counter &stEvictions;
+    Counter &stDirtyWritebacks;
+    Counter &stMshrMerges;
+    Counter &stMshrFullRejects;
+    Counter &stUpgrades;
+    Counter &stPrefetchesIssued;
+    Counter &stUsefulPrefetches;
+    Counter &stWastedPrefetches;
+    Counter &stStalePutAcks;
+    Counter &stForwardsServiced;
+    Counter &stForwardsFromWbBuffer;
+    Counter &stInvalidationsReceived;
+    Counter &stUpdatesReceived;
+    Counter &stStaleUpdates;
+    Counter &stUpdXSent;
     /**
      * MSHR file occupancy distribution, sampled after every
      * allocate and release (ROADMAP histogram-coverage item).

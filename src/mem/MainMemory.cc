@@ -15,7 +15,7 @@ MemCtrl::handle(const Message &msg)
 {
     switch (msg.type) {
       case MsgType::MemRead: {
-        ++stats.counter("reads");
+        ++stReads;
         const Tick done = serviceSlot();
         Message resp;
         resp.type = MsgType::MemReadResp;
@@ -26,13 +26,17 @@ MemCtrl::handle(const Message &msg)
         resp.cls = msg.cls;
         resp.data = mem.readLine(msg.addr);
         const CoreId dst = msg.src;
-        eq.schedule(done, [this, resp, dst] {
-            net.send(tile, Endpoint::Dir, dst, resp, resp.cls);
+        // The line-carrying response is parked in the message pool so
+        // the delayed-send closure stays inline-sized.
+        Message *pm = net.msgPool().acquire(resp);
+        eq.schedule(done, [this, pm, dst] {
+            net.send(tile, Endpoint::Dir, dst, *pm, pm->cls);
+            net.msgPool().release(pm);
         });
         break;
       }
       case MsgType::MemWrite: {
-        ++stats.counter("writes");
+        ++stWrites;
         const Tick done = serviceSlot();
         mem.writeLine(msg.addr, msg.data);
         Message resp;
@@ -42,8 +46,10 @@ MemCtrl::handle(const Message &msg)
         resp.aux = msg.aux;
         resp.cls = msg.cls;
         const CoreId dst = msg.src;
-        eq.schedule(done, [this, resp, dst] {
-            net.send(tile, Endpoint::Dir, dst, resp, resp.cls);
+        Message *pm = net.msgPool().acquire(resp);
+        eq.schedule(done, [this, pm, dst] {
+            net.send(tile, Endpoint::Dir, dst, *pm, pm->cls);
+            net.msgPool().release(pm);
         });
         break;
       }

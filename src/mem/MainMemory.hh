@@ -91,7 +91,9 @@ class MemCtrl
     MemCtrl(EventQueue &eq_, MemNet &net_, MainMemory &mem_,
             std::uint32_t id_, CoreId tile_, const MemCtrlParams &p_)
         : eq(eq_), net(net_), mem(mem_), id(id_), tile(tile_), p(p_),
-          stats("memctrl" + std::to_string(id_))
+          stats("memctrl" + std::to_string(id_)),
+          stReads(stats.counter("reads")),
+          stWrites(stats.counter("writes"))
     {}
 
     void handle(const Message &msg);
@@ -122,6 +124,9 @@ class MemCtrl
     MemCtrlParams p;
     Tick nextFree = 0;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction. */
+    Counter &stReads;
+    Counter &stWrites;
 };
 
 } // namespace spmcoh

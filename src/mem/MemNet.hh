@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/MessagePool.hh"
 #include "mem/Messages.hh"
 #include "noc/Mesh.hh"
 #include "sim/Logging.hh"
@@ -99,8 +100,17 @@ class MemNet
             ? mcHandlers.at(id) : handlers[epIndex(ep)].at(id);
         if (!h)
             panic("MemNet: no handler registered for endpoint");
+        // Park the message in a pooled slot so the delivery closure
+        // stays pointer-sized (inline in SmallFunction); the handler
+        // address is stable because handler vectors never resize
+        // after construction.
+        Message *pm = pool.acquire(msg);
+        Handler *hp = &h;
         return mesh.send(src_tile, dst_tile, cls, bytes,
-                         [&h, msg] { h(msg); });
+                         [this, hp, pm] {
+                             (*hp)(*pm);
+                             pool.release(pm);
+                         });
     }
 
     /**
@@ -118,6 +128,9 @@ class MemNet
     Mesh &noc() { return mesh; }
     EventQueue &events() { return eq; }
     std::uint32_t cores() const { return numCores; }
+
+    /** Shared in-flight Message pool (components may borrow slots). */
+    MessagePool &msgPool() { return pool; }
 
   private:
     static std::size_t
@@ -140,6 +153,7 @@ class MemNet
     std::vector<CoreId> mcTiles;
     std::array<std::vector<Handler>, 6> handlers;
     std::vector<Handler> mcHandlers;
+    MessagePool pool;
 };
 
 } // namespace spmcoh

@@ -38,7 +38,9 @@ class Tlb
   public:
     explicit Tlb(const TlbParams &p_, std::string name = "tlb")
         : p(p_), tags(p_.entries, 0), valid(p_.entries, false),
-          lru(p_.entries), stats(std::move(name))
+          lru(p_.entries), stats(std::move(name)),
+          stAccesses(stats.counter("accesses")),
+          stMisses(stats.counter("misses"))
     {}
 
     /**
@@ -49,14 +51,14 @@ class Tlb
     access(Addr vaddr)
     {
         const Addr vpn = vaddr / p.pageBytes;
-        ++stats.counter("accesses");
+        ++stAccesses;
         for (std::uint32_t i = 0; i < p.entries; ++i) {
             if (valid[i] && tags[i] == vpn) {
                 lru.touch(i);
                 return 0;
             }
         }
-        ++stats.counter("misses");
+        ++stMisses;
         // Install the translation over the pLRU victim.
         std::uint32_t victim = p.entries;
         for (std::uint32_t i = 0; i < p.entries; ++i) {
@@ -82,6 +84,9 @@ class Tlb
     std::vector<bool> valid;
     PseudoLru lru;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction. */
+    Counter &stAccesses;
+    Counter &stMisses;
 };
 
 } // namespace spmcoh

@@ -61,7 +61,11 @@ class OsSpmManager
           runningPid(num_cores, invalidPid),
           spmOwnerPid(num_cores, invalidPid),
           spmPoweredOn(num_cores, false),
-          stats("os")
+          stats("os"),
+          stContextSwitches(stats.counter("contextSwitches")),
+          stLazySaves(stats.counter("lazySaves")),
+          stLazyRestores(stats.counter("lazyRestores")),
+          stSpmPowerDowns(stats.counter("spmPowerDowns"))
     {}
 
     static constexpr std::uint32_t invalidPid = 0xffffffff;
@@ -96,7 +100,7 @@ class OsSpmManager
     schedule(CoreId core, std::uint32_t pid, Spm &spm)
     {
         ProcessContext &ctx = processes.at(pid);
-        ++stats.counter("contextSwitches");
+        ++stContextSwitches;
         runningPid.at(core) = pid;
         if (!ctx.spmEnabled) {
             // Compatibility mode: registers cleared, SPM untouched.
@@ -114,12 +118,12 @@ class OsSpmManager
                 auto &img = old.savedSpm[core];
                 img.resize(spmBytes);
                 spm.drainBlock(0, img.data(), spmBytes);
-                ++stats.counter("lazySaves");
+                ++stLazySaves;
             }
             if (auto it = ctx.savedSpm.find(core);
                 it != ctx.savedSpm.end()) {
                 spm.fillBlock(0, it->second.data(), spmBytes);
-                ++stats.counter("lazyRestores");
+                ++stLazyRestores;
             }
             spmOwnerPid[core] = pid;
         }
@@ -155,7 +159,7 @@ class OsSpmManager
                 ++n;
             }
         }
-        stats.counter("spmPowerDowns") += n;
+        stSpmPowerDowns += n;
         return n;
     }
 
@@ -175,6 +179,11 @@ class OsSpmManager
     std::vector<std::uint32_t> spmOwnerPid;
     std::vector<bool> spmPoweredOn;
     StatGroup stats;
+    /** Counters resolved once at construction. */
+    Counter &stContextSwitches;
+    Counter &stLazySaves;
+    Counter &stLazyRestores;
+    Counter &stSpmPowerDowns;
 };
 
 } // namespace spmcoh

@@ -7,6 +7,11 @@
  * touch flips the bits along the way's path, and a victim walk follows
  * the cold direction. For non-power-of-two N we round up and re-walk
  * until a valid way is produced (bounded, deterministic).
+ *
+ * The tree bits live in a single 64-bit word when they fit (every
+ * current user has <= 64 ways), so one CacheArray set costs no heap
+ * allocation and a touch is a few register ops; wider configurations
+ * fall back to a bit vector transparently.
  */
 
 #ifndef SPMCOH_SIM_PSEUDOLRU_HH
@@ -29,7 +34,8 @@ class PseudoLru
     {
         while (treeWays < numWays)
             treeWays <<= 1;
-        bits.assign(treeWays, false);   // slot 0 unused, 1..treeWays-1
+        if (treeWays > inlineBits)
+            bitsBig.assign(treeWays, false);
     }
 
     std::uint32_t ways() const { return numWays; }
@@ -44,7 +50,7 @@ class PseudoLru
             std::uint32_t mid = lo + (hi - lo) / 2;
             const bool right = way >= mid;
             // bit true means "recently went right", so victim goes left
-            bits[node] = right;
+            setBit(node, right);
             node = node * 2 + (right ? 1 : 0);
             if (right) lo = mid; else hi = mid;
         }
@@ -58,7 +64,7 @@ class PseudoLru
         std::uint32_t lo = 0, hi = treeWays;
         while (hi - lo > 1) {
             std::uint32_t mid = lo + (hi - lo) / 2;
-            const bool goRight = !bits[node];
+            const bool goRight = !getBit(node);
             node = node * 2 + (goRight ? 1 : 0);
             if (goRight) lo = mid; else hi = mid;
         }
@@ -69,9 +75,31 @@ class PseudoLru
     }
 
   private:
+    /// Tree slots that fit in bitsWord (slot 0 unused, 1..treeWays-1).
+    static constexpr std::uint32_t inlineBits = 64;
+
+    bool
+    getBit(std::uint32_t i) const
+    {
+        return treeWays <= inlineBits ? ((bitsWord >> i) & 1u) != 0
+                                      : bitsBig[i];
+    }
+
+    void
+    setBit(std::uint32_t i, bool v)
+    {
+        if (treeWays <= inlineBits) {
+            const std::uint64_t mask = std::uint64_t{1} << i;
+            bitsWord = v ? (bitsWord | mask) : (bitsWord & ~mask);
+        } else {
+            bitsBig[i] = v;
+        }
+    }
+
     std::uint32_t numWays;
     std::uint32_t treeWays;
-    std::vector<bool> bits;
+    std::uint64_t bitsWord = 0;
+    std::vector<bool> bitsBig;  ///< only used when treeWays > 64
 };
 
 } // namespace spmcoh

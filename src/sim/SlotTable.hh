@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flat slot table with generation-tagged ids — a freelist-backed
+ * replacement for `unordered_map<uint64_t, T>` keyed by a
+ * monotonically assigned request id.
+ *
+ * Hot controllers (coherence pending requests, DMAC in-flight lines)
+ * used to allocate a hash node per tracked request. Here the payload
+ * lives in a flat vector slot; the public id packs {generation,
+ * slot}, and the generation bumps on every release, so a stale or
+ * double-released id is still detected exactly like a failed map
+ * lookup used to be. Ids fit in 56 bits (callers stash them in
+ * message aux fields shifted by 8). Recycling is LIFO and purely
+ * index-based, so behavior is deterministic run-to-run.
+ */
+
+#ifndef SPMCOH_SIM_SLOTTABLE_HH
+#define SPMCOH_SIM_SLOTTABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace spmcoh
+{
+
+/** Freelist slot store; T must be default-constructible. */
+template <typename T>
+class SlotTable
+{
+  public:
+    /** Ids pack (generation << slotBits) | slot; 56 bits total. */
+    static constexpr std::uint64_t slotBits = 20;
+    static constexpr std::uint64_t slotMask =
+        (std::uint64_t{1} << slotBits) - 1;
+
+    /** Claim a slot; returns its id. The payload is default-state
+     *  (fresh slot) or left as released (recycled) — callers assign
+     *  every field they later read. */
+    std::uint64_t
+    acquire()
+    {
+        std::uint32_t s;
+        if (freeSlots.empty()) {
+            s = static_cast<std::uint32_t>(slots.size());
+            slots.emplace_back();
+            gens.push_back(0);
+        } else {
+            s = freeSlots.back();
+            freeSlots.pop_back();
+        }
+        ++liveCount;
+        return (std::uint64_t{gens[s]} << slotBits) | s;
+    }
+
+    /** Look up a live id; nullptr when the id is stale/unknown (the
+     *  analogue of map.find() == end()). */
+    T *
+    find(std::uint64_t id)
+    {
+        const std::uint64_t s = id & slotMask;
+        if (s >= slots.size() || gens[s] != (id >> slotBits))
+            return nullptr;
+        return &slots[s];
+    }
+
+    /** Release a live id back to the freelist.
+     *  @pre find(id) != nullptr */
+    void
+    release(std::uint64_t id)
+    {
+        const std::uint32_t s =
+            static_cast<std::uint32_t>(id & slotMask);
+        ++gens[s];
+        freeSlots.push_back(s);
+        --liveCount;
+    }
+
+    /** Live entries (for occupancy sampling). */
+    std::size_t size() const { return liveCount; }
+
+  private:
+    std::vector<T> slots;
+    std::vector<std::uint32_t> gens;
+    std::vector<std::uint32_t> freeSlots;
+    std::size_t liveCount = 0;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SIM_SLOTTABLE_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable, used for event-queue
+ * callbacks and other hot-path completion closures.
+ *
+ * std::function heap-allocates any capture larger than ~16 bytes
+ * (libstdc++), which puts one malloc/free pair on every scheduled
+ * event. Simulator closures routinely capture 24-48 bytes (a this
+ * pointer plus a couple of addresses/ids), so SmallFunction carries a
+ * 48-byte inline buffer: captures up to that size are stored in place
+ * and never touch the allocator. Larger callables still work through
+ * a heap fallback, so correctness never depends on capture size.
+ *
+ * The type is move-only (closures own single-shot completion state;
+ * copyability is what forces std::function to pessimize), supports an
+ * empty state, and dispatches through a static per-callable ops table
+ * rather than a virtual base, keeping sizeof(SmallFunction) at
+ * buffer + one pointer.
+ */
+
+#ifndef SPMCOH_SIM_SMALLFUNCTION_HH
+#define SPMCOH_SIM_SMALLFUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spmcoh
+{
+
+template <typename Signature>
+class SmallFunction;
+
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)>
+{
+  public:
+    /** Inline capture capacity in bytes. */
+    static constexpr std::size_t inlineBytes = 48;
+
+    SmallFunction() = default;
+    SmallFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename Fn = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<Fn, SmallFunction> &&
+                  std::is_invocable_r_v<R, Fn &, Args...>>>
+    SmallFunction(F &&f)
+    {
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf) =
+                new Fn(std::forward<F>(f));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    SmallFunction(SmallFunction &&o) noexcept
+    {
+        if (o.ops) {
+            ops = o.ops;
+            ops->relocate(buf, o.buf);
+            o.ops = nullptr;
+        }
+    }
+
+    SmallFunction &
+    operator=(SmallFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            if (o.ops) {
+                ops = o.ops;
+                ops->relocate(buf, o.buf);
+                o.ops = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    explicit operator bool() const { return ops != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return ops->invoke(const_cast<unsigned char *>(buf),
+                           std::forward<Args>(args)...);
+    }
+
+  private:
+    struct OpsTable
+    {
+        R (*invoke)(void *, Args &&...);
+        /** Move-construct into @p dst from @p src, destroy @p src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr bool fitsInline =
+        sizeof(Fn) <= inlineBytes &&
+        alignof(Fn) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<Fn>;
+
+    template <typename Fn>
+    static constexpr OpsTable inlineOps = {
+        [](void *p, Args &&...args) -> R {
+            return (*static_cast<Fn *>(p))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr OpsTable heapOps = {
+        [](void *p, Args &&...args) -> R {
+            return (**static_cast<Fn **>(p))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    reset()
+    {
+        if (ops) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf[inlineBytes];
+    const OpsTable *ops = nullptr;
+};
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SIM_SMALLFUNCTION_HH

@@ -12,6 +12,12 @@ Dmac::Dmac(MemNet &net_, Spm &spm_, const AddressMap &amap_,
            CoreId core_, const DmacParams &p_, const std::string &name)
     : net(net_), spm(spm_), amap(amap_), core(core_), p(p_),
       tagPending(numTags, 0), stats(name),
+      stGetCommands(stats.counter("getCommands")),
+      stPutCommands(stats.counter("putCommands")),
+      stGetLines(stats.counter("getLines")),
+      stPutLines(stats.counter("putLines")),
+      stSyncs(stats.counter("syncs")),
+      stCmdQueueFull(stats.counter("cmdQueueFull")),
       lineLatency(stats.histogram("lineLatency",
                                   {16, 32, 64, 128, 256, 512, 1024}))
 {
@@ -21,7 +27,7 @@ bool
 Dmac::enqueue(const DmaCommand &cmd)
 {
     if (cmdQueue.size() >= p.cmdQueueEntries) {
-        ++stats.counter("cmdQueueFull");
+        ++stCmdQueueFull;
         return false;
     }
     if (cmd.bytes == 0 || cmd.bytes % lineBytes != 0)
@@ -35,7 +41,7 @@ Dmac::enqueue(const DmaCommand &cmd)
     if (cmd.tag >= numTags)
         fatal("Dmac: bad DMA tag");
 
-    ++stats.counter(cmd.isGet ? "getCommands" : "putCommands");
+    ++(cmd.isGet ? stGetCommands : stPutCommands);
     tagPending[cmd.tag] += cmd.bytes / lineBytes;
     cmdQueue.push_back(cmd);
     scheduleIssue();
@@ -45,7 +51,7 @@ Dmac::enqueue(const DmaCommand &cmd)
 void
 Dmac::sync(std::uint32_t tag_mask, std::function<void()> cb)
 {
-    ++stats.counter("syncs");
+    ++stSyncs;
     if (quiescent(tag_mask)) {
         cb();
         return;
@@ -102,8 +108,8 @@ Dmac::issueOne()
     const std::uint32_t spm_off =
         amap.spmOffset(cmd.spmAddr) + line_idx * lineBytes;
 
-    const std::uint64_t id = nextReqId++;
-    reqs.emplace(id, Req{spm_off, cmd.tag, net.events().now()});
+    const std::uint64_t id = reqs.acquire();
+    *reqs.find(id) = Req{spm_off, cmd.tag, net.events().now()};
 
     Message m;
     m.addr = gm_line;
@@ -112,12 +118,12 @@ Dmac::issueOne()
     m.cls = TrafficClass::Dma;
     if (cmd.isGet) {
         m.type = MsgType::DmaRead;
-        ++stats.counter("getLines");
+        ++stGetLines;
     } else {
         m.type = MsgType::DmaWrite;
         m.hasData = true;
         spm.drainBlock(spm_off, m.data.bytes.data(), lineBytes);
-        ++stats.counter("putLines");
+        ++stPutLines;
     }
     net.send(core, Endpoint::Dir, net.homeSlice(gm_line), m,
              TrafficClass::Dma);
@@ -136,11 +142,11 @@ Dmac::issueOne()
 void
 Dmac::handle(const Message &msg)
 {
-    auto it = reqs.find(msg.aux);
-    if (it == reqs.end())
+    Req *slot = reqs.find(msg.aux);
+    if (!slot)
         panic("Dmac: response for unknown request");
-    const auto [spm_off, tag, issued] = it->second;
-    reqs.erase(it);
+    const auto [spm_off, tag, issued] = *slot;
+    reqs.release(msg.aux);
     --inflight;
     lineLatency.sample(net.events().now() - issued);
 

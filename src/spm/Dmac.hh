@@ -22,12 +22,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/MemNet.hh"
 #include "spm/AddressMap.hh"
 #include "spm/Spm.hh"
+#include "sim/SlotTable.hh"
 #include "sim/Stats.hh"
 
 namespace spmcoh
@@ -119,17 +119,23 @@ class Dmac
 
     std::vector<std::uint64_t> tagPending;
     std::vector<Waiter> waiters;
-    /** In-flight line request bookkeeping. */
+    /** In-flight line request bookkeeping; ids travel in msg.aux. */
     struct Req
     {
-        std::uint32_t spmOff;
-        std::uint32_t tag;
-        Tick issued;
+        std::uint32_t spmOff = 0;
+        std::uint32_t tag = 0;
+        Tick issued = 0;
     };
-    std::unordered_map<std::uint64_t, Req> reqs;
-    std::uint64_t nextReqId = 1;
+    SlotTable<Req> reqs;
     std::function<void()> cmdSlotCb;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction. */
+    Counter &stGetCommands;
+    Counter &stPutCommands;
+    Counter &stGetLines;
+    Counter &stPutLines;
+    Counter &stSyncs;
+    Counter &stCmdQueueFull;
     Histogram &lineLatency;  ///< response-time histogram in stats
 };
 

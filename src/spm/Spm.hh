@@ -26,7 +26,11 @@ class Spm
 {
   public:
     Spm(std::uint32_t size_bytes, Tick latency_, const std::string &name)
-        : bytes(size_bytes, 0), latency(latency_), stats(name)
+        : bytes(size_bytes, 0), latency(latency_), stats(name),
+          stReads(stats.counter("reads")),
+          stWrites(stats.counter("writes")),
+          stDmaFills(stats.counter("dmaFills")),
+          stDmaDrains(stats.counter("dmaDrains"))
     {}
 
     std::uint32_t size() const
@@ -38,7 +42,7 @@ class Spm
     read(std::uint32_t off, std::uint32_t n)
     {
         check(off, n);
-        ++stats.counter("reads");
+        ++stReads;
         std::uint64_t v = 0;
         for (std::uint32_t i = n; i-- > 0;)
             v = (v << 8) | bytes[off + i];
@@ -50,7 +54,7 @@ class Spm
     write(std::uint32_t off, std::uint32_t n, std::uint64_t v)
     {
         check(off, n);
-        ++stats.counter("writes");
+        ++stWrites;
         for (std::uint32_t i = 0; i < n; ++i) {
             bytes[off + i] = static_cast<std::uint8_t>(v & 0xff);
             v >>= 8;
@@ -63,7 +67,7 @@ class Spm
               std::uint32_t n)
     {
         check(off, n);
-        ++stats.counter("dmaFills");
+        ++stDmaFills;
         for (std::uint32_t i = 0; i < n; ++i)
             bytes[off + i] = src[i];
     }
@@ -74,7 +78,7 @@ class Spm
                std::uint32_t n)
     {
         check(off, n);
-        ++stats.counter("dmaDrains");
+        ++stDmaDrains;
         for (std::uint32_t i = 0; i < n; ++i)
             dst[i] = bytes[off + i];
     }
@@ -93,6 +97,11 @@ class Spm
     std::vector<std::uint8_t> bytes;
     Tick latency;
     StatGroup stats;
+    /** Hot-path counters, resolved once at construction. */
+    Counter &stReads;
+    Counter &stWrites;
+    Counter &stDmaFills;
+    Counter &stDmaDrains;
 };
 
 } // namespace spmcoh
