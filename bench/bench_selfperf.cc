@@ -45,12 +45,14 @@ struct Sample
 };
 
 Sample
-measure(const std::string &workload, std::uint32_t reps)
+measure(const std::string &workload, std::uint32_t reps,
+        std::uint32_t cores, std::uint32_t sim_threads)
 {
     const ExperimentSpec spec = ExperimentBuilder()
                                     .workload(workload)
                                     .mode(SystemMode::HybridProto)
-                                    .cores(8)
+                                    .cores(cores)
+                                    .simThreads(sim_threads)
                                     .spec();
     runExperiment(spec);  // warm-up: page in code + allocator state
     double best_ms = 0.0;
@@ -86,6 +88,8 @@ int
 main(int argc, char **argv)
 {
     std::uint32_t reps = 3;
+    std::uint32_t cores = 8;
+    std::uint32_t sim_threads = 0;
     std::string out_file;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -97,12 +101,29 @@ main(int argc, char **argv)
                 return 2;
             }
             reps = static_cast<std::uint32_t>(v);
+        } else if (std::strncmp(arg, "--cores=", 8) == 0) {
+            const long v = std::strtol(arg + 8, nullptr, 10);
+            if (v < 1) {
+                std::fprintf(stderr, "bad core count '%s'\n",
+                             arg + 8);
+                return 2;
+            }
+            cores = static_cast<std::uint32_t>(v);
+        } else if (std::strncmp(arg, "--sim-threads=", 14) == 0) {
+            const long v = std::strtol(arg + 14, nullptr, 10);
+            if (v < 0) {
+                std::fprintf(stderr, "bad sim-thread count '%s'\n",
+                             arg + 14);
+                return 2;
+            }
+            sim_threads = static_cast<std::uint32_t>(v);
         } else if (std::strncmp(arg, "--out=", 6) == 0) {
             out_file = arg + 6;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf("simulator wall-clock per simulated cycle "
                         "on fixed CG/pipeline experiments\n"
-                        "usage: %s [--reps=N] [--out=FILE]\n",
+                        "usage: %s [--reps=N] [--cores=N] "
+                        "[--sim-threads=N] [--out=FILE]\n",
                         argv[0]);
             return 0;
         } else {
@@ -130,12 +151,14 @@ main(int argc, char **argv)
         w.key("bench").value("selfperf");
         w.key("reps").value(reps);
         // Provenance: captures are only comparable within the same
-        // build type and experiment shape.
+        // build type and experiment shape — which now includes the
+        // intra-run thread count (0 = monolithic event loop).
         w.key("buildType").value(SPMCOH_BUILD_TYPE);
-        w.key("cores").value(std::uint64_t{8});
+        w.key("cores").value(std::uint64_t{cores});
+        w.key("simThreads").value(std::uint64_t{sim_threads});
         w.key("experiments").beginArray();
         for (const char *wl : {"CG", "pipeline"}) {
-            const Sample s = measure(wl, reps);
+            const Sample s = measure(wl, reps, cores, sim_threads);
             w.beginObject();
             w.key("name").value(s.name);
             w.key("simCycles").value(s.simCycles);

@@ -3,20 +3,36 @@
 
 Usage: check_selfperf.py CANDIDATE.json [BASELINE.json]
            [--tolerance=FACTOR]
+       check_selfperf.py --parallel SERIAL.json PARALLEL.json
+           [--tolerance=FACTOR]
 
 CANDIDATE is a fresh ``bench_selfperf`` capture; BASELINE defaults to
 the repo-root ``BENCH_selfperf.json``. Each experiment (matched by
 name) must not be more than FACTOR times slower (nsPerSimCycle) than
-the most recent baseline entry for that experiment. The default
-tolerance of 1.5x is deliberately loose: selfperf runs on shared CI
-machines and only a gross regression — an accidental O(n) scan on the
-hot path, a reintroduced per-event allocation — should fail the
-build. Improvements never fail.
+the baseline entry for that experiment. The default tolerance of 1.5x
+is deliberately loose: selfperf runs on shared CI machines and only a
+gross regression — an accidental O(n) scan on the hot path, a
+reintroduced per-event allocation — should fail the build.
+Improvements never fail.
 
 The baseline may be either a single capture (an object with an
 ``experiments`` array) or a trajectory (an object whose ``entries``
-array holds dated captures); with a trajectory the LAST entry is the
-reference.
+array holds dated captures). Captures are stamped with their
+experiment shape (``cores``, ``simThreads``); within a trajectory the
+reference is the LAST entry whose shape matches the candidate's, so a
+partitioned (simThreads > 0) capture gates against partitioned
+history, never against the monolithic event loop's numbers. When no
+entry matches the candidate's shape the last entry is used.
+
+``--parallel`` compares two fresh captures of the same experiments —
+one monolithic (simThreads 0), one partitioned — and fails when the
+partitioned run is more than FACTOR times slower. This comparison
+uses wall time, not nsPerSimCycle: the partitioned core's windowed
+cross-region timing model can simulate a different cycle count for
+the same experiment (contended cross-region hops are priced
+contention-free), which would skew a per-cycle ratio. On multi-core
+machines the partitioned run should win outright; the tolerance
+keeps the gate meaningful on single-core CI runners.
 
 Exit status: 0 when every matched experiment is within tolerance,
 1 on any regression or missing experiment, 2 on malformed input.
@@ -37,19 +53,67 @@ def load(path):
         sys.exit(2)
 
 
-def experiments_of(doc, path):
-    """Accept a raw capture or a trajectory of captures."""
+def shape_of(capture):
+    """(cores, simThreads) stamp of a capture; None = unstamped."""
+    return (capture.get("cores"), capture.get("simThreads"))
+
+
+def pick_entry(doc, path, want_shape=None):
+    """Resolve a raw capture or a trajectory to one capture dict.
+
+    Within a trajectory, prefer the last entry matching want_shape
+    (ignoring None components), then the last entry outright.
+    """
     if "entries" in doc:
-        if not doc["entries"]:
+        entries = doc["entries"]
+        if not entries:
             print(f"check_selfperf: {path} has no entries",
                   file=sys.stderr)
             sys.exit(2)
-        doc = doc["entries"][-1]
+        doc = entries[-1]
+        if want_shape is not None:
+            def axis_ok(entry_v, want_v):
+                # Unstamped values (old captures, e.g. pre-simThreads
+                # entries) act as wildcards on either side.
+                return (entry_v is None or want_v is None
+                        or entry_v == want_v)
+
+            for e in reversed(entries):
+                cores, threads = shape_of(e)
+                if (axis_ok(cores, want_shape[0])
+                        and axis_ok(threads, want_shape[1])):
+                    doc = e
+                    break
     if "experiments" not in doc:
         print(f"check_selfperf: {path} has no experiments",
               file=sys.stderr)
         sys.exit(2)
-    return {e["name"]: e for e in doc["experiments"]}
+    return doc
+
+
+def experiments_of(capture):
+    return {e["name"]: e for e in capture["experiments"]}
+
+
+def compare(base, cand, tolerance, base_desc,
+            metric="nsPerSimCycle", unit="ns/cycle"):
+    """Gate cand against base; returns True on any failure."""
+    failed = False
+    for name, b in sorted(base.items()):
+        c = cand.get(name)
+        if c is None:
+            print(f"FAIL {name}: missing from candidate")
+            failed = True
+            continue
+        b_v = b[metric]
+        c_v = c[metric]
+        limit = b_v * tolerance
+        verdict = "FAIL" if c_v > limit else "ok"
+        print(f"{verdict:4} {name}: {c_v} {unit} vs {base_desc} "
+              f"{b_v} (limit {limit:.0f})")
+        if c_v > limit:
+            failed = True
+    return failed
 
 
 def main():
@@ -58,26 +122,34 @@ def main():
     ap.add_argument("baseline", nargs="?",
                     default="BENCH_selfperf.json")
     ap.add_argument("--tolerance", type=float, default=1.5)
+    ap.add_argument("--parallel", action="store_true",
+                    help="treat the two operands as fresh serial and "
+                         "partitioned captures of the same "
+                         "experiments")
     args = ap.parse_args()
 
-    cand = experiments_of(load(args.candidate), args.candidate)
-    base = experiments_of(load(args.baseline), args.baseline)
+    if args.parallel:
+        serial_doc = pick_entry(load(args.candidate), args.candidate)
+        par_doc = pick_entry(load(args.baseline), args.baseline)
+        serial = experiments_of(serial_doc)
+        par = experiments_of(par_doc)
+        threads = par_doc.get("simThreads", "?")
+        failed = compare(serial, par, args.tolerance,
+                         f"serial (simThreads={threads} vs)",
+                         metric="wallUs", unit="us wall")
+        if failed:
+            print("check_selfperf: partitioned run is slower than "
+                  f"serial beyond the {args.tolerance}x tolerance",
+                  file=sys.stderr)
+            return 1
+        return 0
 
-    failed = False
-    for name, b in sorted(base.items()):
-        c = cand.get(name)
-        if c is None:
-            print(f"FAIL {name}: missing from candidate")
-            failed = True
-            continue
-        b_ns = b["nsPerSimCycle"]
-        c_ns = c["nsPerSimCycle"]
-        limit = b_ns * args.tolerance
-        verdict = "FAIL" if c_ns > limit else "ok"
-        print(f"{verdict:4} {name}: {c_ns} ns/cycle vs baseline "
-              f"{b_ns} (limit {limit:.0f})")
-        if c_ns > limit:
-            failed = True
+    cand_doc = pick_entry(load(args.candidate), args.candidate)
+    base_doc = pick_entry(load(args.baseline), args.baseline,
+                          want_shape=shape_of(cand_doc))
+    failed = compare(experiments_of(base_doc),
+                     experiments_of(cand_doc), args.tolerance,
+                     "baseline")
     if failed:
         print("check_selfperf: simulator slowed down beyond the "
               f"{args.tolerance}x tolerance", file=sys.stderr)

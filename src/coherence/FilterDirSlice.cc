@@ -143,12 +143,16 @@ FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
 
     // Account every probe and response packet; simulate the exchange
     // as one aggregate event at the worst-case probe arrival time.
+    // The per-core probe counters live on other tiles' controllers,
+    // so a partitioned run bumps them inside the deferred evaluation
+    // (single-threaded at the epoch merge) instead of here.
     for (CoreId c = 0; c < n; ++c) {
         if (c == msg.requestor)
             continue;
         net.accountOnly(tile, c, TrafficClass::CohProt, false);
         net.accountOnly(c, tile, TrafficClass::CohProt, false);
-        fab.ctrls[c]->countProbe();
+        if (!net.partitioned())
+            fab.ctrls[c]->countProbe();
     }
     const Tick probe_arrive =
         net.noc().maxLatencyFrom(tile, ctrlPacketBytes) +
@@ -157,10 +161,20 @@ FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
         net.noc().maxLatencyFrom(tile, ctrlPacketBytes);
 
     Message *pm = net.msgPool().acquire(msg);
-    net.events().scheduleIn(probe_arrive,
+    // The evaluation walks every core's SPMDir CAM — cross-region
+    // state — so it goes through deferCross: a plain schedule when
+    // monolithic, a canonically-ordered merge operation when
+    // partitioned.
+    net.deferCross(net.events().now() + probe_arrive,
                             [this, pm, base,
                              resp_delay = responses_back - probe_arrive] {
         const Message &req = *pm;
+        if (net.partitioned()) {
+            for (CoreId c = 0; c < net.cores(); ++c) {
+                if (c != req.requestor)
+                    fab.ctrls[c]->countProbe();
+            }
+        }
         // Evaluate the SPMDir CAMs at probe-arrival time.
         CoreId owner = invalidCore;
         std::uint32_t buf_idx = 0;
@@ -181,7 +195,9 @@ FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
                 fab.config.offset(req.addr));
             const std::uint8_t size =
                 static_cast<std::uint8_t>(req.aux & 0xff);
-            net.events().scheduleIn(1,
+            // Touches the owner's SPM — another region's state —
+            // so this leg also routes through deferCross.
+            net.deferCross(net.events().now() + 1,
                     [this, own = owner, spm_off, size,
                      addr = req.addr, aux = req.aux,
                      requestor = req.requestor,
@@ -205,7 +221,10 @@ FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
                          TrafficClass::CohProt);
             });
             // Informational NACK: the filter must not cache the base.
-            net.events().scheduleIn(resp_delay,
+            // Slice-local follow-up: schedule it on this slice's own
+            // queue (events() would name the merge thread's region
+            // when the evaluation runs at an epoch merge).
+            net.queueFor(tile).scheduleIn(resp_delay,
                     [this, base, requestor = req.requestor,
                      addr = req.addr, aux = req.aux] {
                 sendToCore(requestor, MsgType::FilterCheckNack,
@@ -214,8 +233,9 @@ FilterDirSlice::broadcastProbe(const Message &msg, Addr base)
             });
         } else {
             // Fig. 5c: nobody maps it; install and ACK after all
-            // NACK responses are in.
-            net.events().scheduleIn(resp_delay,
+            // NACK responses are in. Slice-local, so again the
+            // slice's own queue.
+            net.queueFor(tile).scheduleIn(resp_delay,
                     [this, base, requestor = req.requestor,
                      aux = req.aux] {
                 // insertAndAck releases the base serialization once

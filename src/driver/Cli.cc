@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <limits>
+#include <thread>
 
 #include "cpu/CoreModel.hh"
 #include "protocols/ProtocolFactory.hh"
@@ -82,8 +83,17 @@ cliUsage(const std::string &prog)
         "                         prefetcher\n"
         "\n"
         "execution and output:\n"
-        "  --jobs=N          run sweep points on N worker threads\n"
-        "                    ('auto' = hardware threads; default 1)\n"
+        "  --jobs=N          run sweep points on N worker threads —\n"
+        "                    across-run parallelism; each point is\n"
+        "                    still one simulation ('auto' = hardware\n"
+        "                    threads; default 1)\n"
+        "  --sim-threads=N   worker threads inside each simulation\n"
+        "                    (partitioned core; 'auto' = hardware\n"
+        "                    threads, capped by the machine's region\n"
+        "                    count; default 0 = classic monolithic\n"
+        "                    event loop). Results are byte-identical\n"
+        "                    for every N >= 1. Composes with --jobs:\n"
+        "                    total threads ~ jobs x sim-threads\n"
         "  --format=F        table | csv | json (default: table)\n"
         "  --out=FILE        write results to FILE instead of stdout\n"
         "  --title=STR       report title (default: generated)\n"
@@ -280,6 +290,24 @@ parseCli(const std::vector<std::string> &args,
                                    "or 'auto')");
                 else
                     opt.jobs = static_cast<std::uint32_t>(*n);
+            }
+        } else if ((v = flagValue(arg, "--sim-threads"))) {
+            if (*v == "auto") {
+                // The System clamps to its region count, so "all
+                // hardware threads" is a safe upper bound here.
+                const unsigned hw =
+                    std::thread::hardware_concurrency();
+                opt.sweep.simThreads = hw ? hw : 1;
+            } else {
+                const auto n = parseUint(*v);
+                if (!n)
+                    errs.push_back(
+                        "bad sim-thread count '" + *v +
+                        "' (expected a non-negative integer or "
+                        "'auto'; 0 = monolithic)");
+                else
+                    opt.sweep.simThreads =
+                        static_cast<std::uint32_t>(*n);
             }
         } else if ((v = flagValue(arg, "--format"))) {
             const auto f = resultFormatFromName(*v);

@@ -12,6 +12,7 @@
 #include "compiler/Compiler.hh"
 #include "runtime/Layout.hh"
 #include "sim/Logging.hh"
+#include "system/RegionMap.hh"
 
 namespace spmcoh
 {
@@ -243,6 +244,20 @@ runExperiment(const ExperimentSpec &spec, const WorkloadRegistry &reg,
         local = prepareProgram(prog, spec.cores,
                                out.params.spmBytes);
         prepared = &local;
+    }
+
+    // The partitioned core is an execution knob: stamp the thread
+    // count and the phase-graph-aligned region cuts onto the
+    // resolved params after resolution so they never differ between
+    // sweep points that share a spec. Results are byte-identical
+    // for every simThreads >= 1 (and differ from 0 only by the
+    // documented windowed cross-region timing model).
+    if (spec.simThreads > 0) {
+        out.params.simThreads = spec.simThreads;
+        out.params.regionCuts = deriveRegionCuts(
+            out.params.mesh.width, out.params.mesh.height,
+            defaultMaxRegions,
+            prepared->schedule.regionCutCandidates());
     }
 
     System sys(out.params);

@@ -92,6 +92,14 @@ struct ExperimentSpec
     /** Label for a parameter variant in sweeps ("" = baseline). */
     std::string variant;
     /**
+     * Intra-run simulation worker threads (SystemParams::simThreads).
+     * Deliberately excluded from label() and result serialization:
+     * any value >= 1 produces byte-identical output (the partition
+     * is derived from topology and phase graph, never from the
+     * thread count), so it is an execution knob, not an axis.
+     */
+    std::uint32_t simThreads = 0;
+    /**
      * Replaces the derived defaults when set. The mode is always
      * taken from the spec field above; the override must have been
      * built for exactly `cores` cores (its mesh and memory
@@ -217,6 +225,14 @@ class ExperimentBuilder
     variant(const std::string &name)
     {
         s.variant = name;
+        return *this;
+    }
+
+    /** Intra-run simulation worker threads (0 = monolithic). */
+    ExperimentBuilder &
+    simThreads(std::uint32_t n)
+    {
+        s.simThreads = n;
         return *this;
     }
 

@@ -77,6 +77,7 @@ SweepRunner::expand(const SweepSpec &sweep) const
                         e.scale = s;
                         e.wparams = wp;
                         e.variant = v.name;
+                        e.simThreads = sweep.simThreads;
                         // Validate before resolving: the tweak
                         // needs resolvedParams, which derives a
                         // topology only defined for tileable core

@@ -50,6 +50,13 @@ struct SweepSpec
     std::vector<WorkloadParams> paramPoints;
     /** Empty = single un-tweaked baseline point. */
     std::vector<SweepVariant> variants;
+    /**
+     * Intra-run simulation worker threads, stamped onto every
+     * expanded spec (ExperimentSpec::simThreads). Not an axis:
+     * results are byte-identical for every value >= 1. Distinct from
+     * the executor's sweep-point parallelism (--jobs).
+     */
+    std::uint32_t simThreads = 0;
 };
 
 /**

@@ -7,12 +7,22 @@
  * writes with a fixed access latency plus a bandwidth-limited service
  * slot (one line per serviceCycles), modeling DDR contention at the
  * level the evaluation needs.
+ *
+ * The store is the one structure memory controllers in different
+ * regions of a partitioned run share, so it is sharded by line
+ * address with a mutex per shard. The locks protect only the hash
+ * map structure (rehashes, bucket chains); per-line *value* ordering
+ * needs none, because every line is served by exactly one controller
+ * — the static nearestMemCtrl of the line's home directory slice —
+ * and a controller's events all execute on one region's thread.
  */
 
 #ifndef SPMCOH_MEM_MAINMEMORY_HH
 #define SPMCOH_MEM_MAINMEMORY_HH
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -33,15 +43,21 @@ class MainMemory
     LineData
     readLine(Addr line_addr) const
     {
-        auto it = lines.find(lineAlign(line_addr));
-        return it == lines.end() ? LineData{} : it->second;
+        const Addr la = lineAlign(line_addr);
+        const Shard &s = shards[shardOf(la)];
+        std::lock_guard<std::mutex> lock(s.mtx);
+        auto it = s.lines.find(la);
+        return it == s.lines.end() ? LineData{} : it->second;
     }
 
     /** Write a full line. */
     void
     writeLine(Addr line_addr, const LineData &d)
     {
-        lines[lineAlign(line_addr)] = d;
+        const Addr la = lineAlign(line_addr);
+        Shard &s = shards[shardOf(la)];
+        std::lock_guard<std::mutex> lock(s.mtx);
+        s.lines[la] = d;
     }
 
     /** Functional 64-bit read (tests / reference model). */
@@ -60,10 +76,33 @@ class MainMemory
         writeLine(addr, d);
     }
 
-    std::size_t linesTouched() const { return lines.size(); }
+    std::size_t
+    linesTouched() const
+    {
+        std::size_t n = 0;
+        for (const Shard &s : shards) {
+            std::lock_guard<std::mutex> lock(s.mtx);
+            n += s.lines.size();
+        }
+        return n;
+    }
 
   private:
-    std::unordered_map<Addr, LineData> lines;
+    struct Shard
+    {
+        mutable std::mutex mtx;
+        std::unordered_map<Addr, LineData> lines;
+    };
+
+    static constexpr std::size_t numShards = 64;
+
+    static std::size_t
+    shardOf(Addr line_addr)
+    {
+        return (line_addr >> lineShift) & (numShards - 1);
+    }
+
+    std::array<Shard, numShards> shards;
 };
 
 /** Memory controller timing parameters. */

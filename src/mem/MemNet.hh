@@ -7,12 +7,25 @@
  * NoC packet (control or data sized) delivered via the event queue.
  * Tile placement: core i's L1/DMAC/Coh structures and the i-th L2
  * slice, directory slice and FilterDir slice all live on tile i.
+ *
+ * Partitioned mode (bindRegions): tiles are split into row bands,
+ * each with its own EventQueue. events() resolves through
+ * tlsExecRegion to the executing region's queue, so component code is
+ * oblivious to the partitioning. Intra-region packets take the normal
+ * contention-modeled path on the region's own link state; cross-
+ * region packets (and cross-region protocol operations registered via
+ * deferCross) are buffered in per-region outboxes during an epoch
+ * window and merged at the epoch barrier in canonical
+ * (tick, src-region, seq) order — single-threaded, so the outcome is
+ * byte-identical at any worker thread count.
  */
 
 #ifndef SPMCOH_MEM_MEMNET_HH
 #define SPMCOH_MEM_MEMNET_HH
 
 #include <functional>
+#include <memory>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +33,7 @@
 #include "mem/Messages.hh"
 #include "noc/Mesh.hh"
 #include "sim/Logging.hh"
+#include "sim/Region.hh"
 
 namespace spmcoh
 {
@@ -100,17 +114,173 @@ class MemNet
             ? mcHandlers.at(id) : handlers[epIndex(ep)].at(id);
         if (!h)
             panic("MemNet: no handler registered for endpoint");
-        // Park the message in a pooled slot so the delivery closure
-        // stays pointer-sized (inline in SmallFunction); the handler
-        // address is stable because handler vectors never resize
-        // after construction.
-        Message *pm = pool.acquire(msg);
         Handler *hp = &h;
-        return mesh.send(src_tile, dst_tile, cls, bytes,
-                         [this, hp, pm] {
-                             (*hp)(*pm);
-                             pool.release(pm);
-                         });
+        if (regions.empty()) {
+            // Monolithic path. Park the message in a pooled slot so
+            // the delivery closure stays pointer-sized (inline in
+            // SmallFunction); the handler address is stable because
+            // handler vectors never resize after construction.
+            Message *pm = pool.acquire(msg);
+            return mesh.send(src_tile, dst_tile, cls, bytes,
+                             [this, hp, pm] {
+                                 (*hp)(*pm);
+                                 pool.release(pm);
+                             });
+        }
+        if (inMerge)
+            return deliverCross(hp, src_tile, dst_tile, msg, cls,
+                                bytes, mergeHorizon, true);
+        const std::uint32_t sr = tileRegion[src_tile];
+        if (sr == tileRegion[dst_tile]) {
+            // Both endpoints in one row band: XY route stays on the
+            // band's links, so the normal contended path is safe.
+            Message *pm = pools[sr]->acquire(msg);
+            return mesh.sendOn(regions[sr]->eq, src_tile, dst_tile,
+                               cls, bytes, [this, hp, pm] {
+                                   (*hp)(*pm);
+                                   msgPool().release(pm);
+                               });
+        }
+        // Cross-region: attribute traffic to the sender now, buffer
+        // the delivery for the epoch merge. Delivery tick is decided
+        // at merge time; no caller consumes the return value of a
+        // cross-region send.
+        mesh.account(src_tile, dst_tile, cls, bytes);
+        outboxes[sr].push_back(CrossEntry{
+            regions[sr]->eq.now(), sr, seqCounters[sr]++, false, {},
+            hp, src_tile, dst_tile, cls, bytes, std::move(msg)});
+        return 0;
+    }
+
+    /**
+     * Bind the fabric to a set of regions (partitioned mode). Tiles
+     * are mapped to regions by their [loTile, endTile) spans; per-
+     * region message pools and outboxes come up alongside.
+     */
+    void
+    bindRegions(const std::vector<Region *> &regs)
+    {
+        if (regs.size() < 2)
+            panic("MemNet: partitioning needs at least two regions");
+        regions = regs;
+        const auto r_count = static_cast<std::uint32_t>(regs.size());
+        tileRegion.assign(mesh.numTiles(), 0);
+        pools.clear();
+        for (const Region *r : regs) {
+            for (std::uint32_t t = r->loTile; t < r->endTile; ++t)
+                tileRegion.at(t) = r->index;
+            pools.push_back(std::make_unique<MessagePool>());
+        }
+        // CrossEntry is move-only (it holds a Callback), so build
+        // the per-region outboxes without the fill-assign copy path.
+        outboxes.clear();
+        outboxes.resize(r_count);
+        seqCounters.assign(r_count, 0);
+        mesh.setNumRegions(r_count);
+    }
+
+    bool partitioned() const { return !regions.empty(); }
+
+    std::uint32_t
+    numRegions() const
+    {
+        return static_cast<std::uint32_t>(regions.size());
+    }
+
+    /** Region owning @p tile (partitioned mode only). */
+    std::uint32_t regionOfTile(CoreId tile) const
+    { return tileRegion[tile]; }
+
+    /**
+     * Queue that executes @p tile's events: the tile's region queue,
+     * or the global queue when monolithic. Use this instead of
+     * events() for follow-ups scheduled on behalf of a specific tile
+     * from merge context (where tlsExecRegion is the merge thread's).
+     */
+    EventQueue &
+    queueFor(CoreId tile)
+    {
+        return regions.empty() ? eq : regions[tileRegion[tile]]->eq;
+    }
+
+    /**
+     * Register a protocol operation that reads or writes another
+     * region's state. Monolithic: plain schedule. Partitioned: the
+     * operation is buffered like a cross-region message and runs
+     * single-threaded at the first epoch merge whose horizon covers
+     * @p when, in canonical order.
+     */
+    void
+    deferCross(Tick when, EventQueue::Callback fn)
+    {
+        if (regions.empty()) {
+            eq.schedule(when, std::move(fn));
+            return;
+        }
+        if (inMerge) {
+            // Ops spawned during the merge keep merging: the pop loop
+            // re-examines the heap top, so a due entry pushed here
+            // still runs in this epoch. Sentinel src-region numRegions
+            // orders merge-spawned entries after same-tick window
+            // entries.
+            crossQueue.push(CrossEntry{when, numRegions(), mergeSeq++,
+                                       true, std::move(fn), nullptr,
+                                       0, 0, TrafficClass::CohProt, 0,
+                                       Message{}});
+            return;
+        }
+        const std::uint32_t r = tlsExecRegion;
+        outboxes[r].push_back(CrossEntry{when, r, seqCounters[r]++,
+                                         true, std::move(fn), nullptr,
+                                         0, 0, TrafficClass::CohProt,
+                                         0, Message{}});
+    }
+
+    /**
+     * Earliest pending cross-region work, or maxTick. Valid between
+     * epochs (outboxes are empty then); the run loop folds this into
+     * its horizon so deferred operations with far-future ticks are
+     * reached even when every region queue has drained.
+     */
+    Tick
+    crossPendingTick() const
+    {
+        return crossQueue.empty() ? maxTick : crossQueue.top().tick;
+    }
+
+    /**
+     * Epoch barrier: fold the window's outboxes into the canonical
+     * (tick, src-region, seq) heap and run every entry due at or
+     * before @p horizon. Single-threaded; all region queues sit at
+     * @p horizon. Messages deliver into their destination region's
+     * queue no earlier than the horizon; operations run inline (they
+     * may send, which delivers directly, or defer again).
+     */
+    void
+    mergeEpoch(Tick horizon)
+    {
+        mergeHorizon = horizon;
+        inMerge = true;
+        const std::uint32_t saved = tlsExecRegion;
+        tlsExecRegion = 0;
+        for (auto &box : outboxes) {
+            for (CrossEntry &e : box)
+                crossQueue.push(std::move(e));
+            box.clear();
+        }
+        while (!crossQueue.empty() &&
+               crossQueue.top().tick <= horizon) {
+            CrossEntry e =
+                std::move(const_cast<CrossEntry &>(crossQueue.top()));
+            crossQueue.pop();
+            if (e.isOp)
+                e.fn();
+            else
+                deliverCross(e.hp, e.src, e.dst, e.msg, e.cls,
+                             e.bytes, e.tick, false);
+        }
+        inMerge = false;
+        tlsExecRegion = saved;
     }
 
     /**
@@ -126,13 +296,95 @@ class MemNet
     }
 
     Mesh &noc() { return mesh; }
-    EventQueue &events() { return eq; }
+
+    /**
+     * The event queue driving the caller: the global queue when
+     * monolithic, otherwise the queue of the region the current
+     * thread is executing. Component code schedules follow-ups here
+     * without knowing whether the run is partitioned.
+     */
+    EventQueue &
+    events()
+    {
+        return regions.empty() ? eq : regions[tlsExecRegion]->eq;
+    }
+
     std::uint32_t cores() const { return numCores; }
 
-    /** Shared in-flight Message pool (components may borrow slots). */
-    MessagePool &msgPool() { return pool; }
+    /**
+     * In-flight Message pool for the executing region (the shared
+     * pool when monolithic). A message acquired from one region's
+     * pool may be released into another's after a cross-region
+     * delivery; that only migrates the slot's freelist membership —
+     * the backing chunks stay owned by their original pools, which
+     * live exactly as long as this fabric.
+     */
+    MessagePool &
+    msgPool()
+    {
+        return regions.empty() ? pool : *pools[tlsExecRegion];
+    }
 
   private:
+    /**
+     * One unit of buffered cross-region work: either a message
+     * (delivered into the destination region at merge) or a deferred
+     * protocol operation. Canonical merge order is
+     * (tick, srcRegion, seq); seq counters are per-region, so the
+     * order never depends on worker interleaving.
+     */
+    struct CrossEntry
+    {
+        Tick tick;
+        std::uint32_t srcRegion;
+        std::uint64_t seq;
+        bool isOp;
+        EventQueue::Callback fn;  ///< op payload
+        Handler *hp;              ///< message payload...
+        CoreId src;
+        CoreId dst;
+        TrafficClass cls;
+        std::uint32_t bytes;
+        Message msg;
+
+        bool
+        operator>(const CrossEntry &o) const
+        {
+            if (tick != o.tick)
+                return tick > o.tick;
+            if (srcRegion != o.srcRegion)
+                return srcRegion > o.srcRegion;
+            return seq > o.seq;
+        }
+    };
+
+    /**
+     * Deliver a cross-region packet from merge context: price the
+     * route contention-free, never earlier than the horizon, keep
+     * (src, dst) point-to-point ordering, and schedule the handler
+     * into the destination region's queue. @p account is set for
+     * sends issued by merge-time operations (window-time cross sends
+     * were already accounted at the sender).
+     */
+    Tick
+    deliverCross(Handler *hp, CoreId src, CoreId dst,
+                 const Message &msg, TrafficClass cls,
+                 std::uint32_t bytes, Tick send_tick, bool account)
+    {
+        if (account)
+            mesh.account(src, dst, cls, bytes);
+        Tick t = send_tick + mesh.routeLatency(src, dst, bytes);
+        if (t < mergeHorizon)
+            t = mergeHorizon;
+        t = mesh.orderedDelivery(src, dst, t);
+        Message *pm = msgPool().acquire(msg);
+        regions[tileRegion[dst]]->eq.schedule(t, [this, hp, pm] {
+            (*hp)(*pm);
+            msgPool().release(pm);
+        });
+        return t;
+    }
+
     static std::size_t
     epIndex(Endpoint ep)
     {
@@ -154,6 +406,18 @@ class MemNet
     std::array<std::vector<Handler>, 6> handlers;
     std::vector<Handler> mcHandlers;
     MessagePool pool;
+
+    // --- partitioned mode (all empty/false when monolithic) ---
+    std::vector<Region *> regions;
+    std::vector<std::uint32_t> tileRegion;
+    std::vector<std::unique_ptr<MessagePool>> pools;
+    std::vector<std::vector<CrossEntry>> outboxes;
+    std::vector<std::uint64_t> seqCounters;
+    std::priority_queue<CrossEntry, std::vector<CrossEntry>,
+                        std::greater<>> crossQueue;
+    std::uint64_t mergeSeq = 0;
+    Tick mergeHorizon = 0;
+    bool inMerge = false;
 };
 
 } // namespace spmcoh

@@ -8,12 +8,19 @@
  * a pooled slot and the closure captures the pointer; the slot goes
  * back on the freelist as soon as the handler returns.
  *
- * The pool is strictly per-System (one simulated machine, one event
- * queue, one thread), grows in fixed chunks that are never freed
- * until the System dies, and recycles LIFO — all of which keeps its
+ * The pool grows in fixed chunks that are never freed until the
+ * owning fabric dies, and recycles LIFO — all of which keeps its
  * behavior deterministic run-to-run. Nothing may key on the pointer
- * values themselves. A fresh System gets a fresh pool, which is what
+ * values themselves. A fresh System gets fresh pools, which is what
  * resets all slots between sweep experiments.
+ *
+ * A partitioned System keeps one pool per region, selected through
+ * MemNet::msgPool(), and only the thread currently driving a region
+ * (or the single-threaded epoch merge) touches that region's pool —
+ * so no instance is ever accessed concurrently. Slots may migrate
+ * between same-fabric pools when a cross-region delivery releases
+ * into the destination's freelist; chunks stay owned by the pool
+ * that allocated them, so lifetimes are unaffected.
  */
 
 #ifndef SPMCOH_MEM_MESSAGEPOOL_HH

@@ -19,6 +19,7 @@
 #include "noc/Traffic.hh"
 #include "sim/EventQueue.hh"
 #include "sim/Logging.hh"
+#include "sim/Region.hh"
 #include "sim/Types.hh"
 
 namespace spmcoh
@@ -77,10 +78,25 @@ class Mesh
     send(CoreId src, CoreId dst, TrafficClass cls, std::uint32_t bytes,
          EventQueue::Callback onArrive)
     {
-        const Tick arrive = reserve(src, dst, bytes);
+        return sendOn(eq, src, dst, cls, bytes, std::move(onArrive));
+    }
+
+    /**
+     * Region-aware send: reserve from @p q's current time and
+     * schedule the delivery into @p q. The partitioned fabric uses
+     * this for intra-region packets — both endpoints sit in one row
+     * band, so the XY route touches only that band's links and the
+     * link state stays region-confined. The monolithic send() is the
+     * q == global-queue special case.
+     */
+    Tick
+    sendOn(EventQueue &q, CoreId src, CoreId dst, TrafficClass cls,
+           std::uint32_t bytes, EventQueue::Callback onArrive)
+    {
+        const Tick arrive = reserveFrom(q.now(), src, dst, bytes);
         account(src, dst, cls, bytes);
         if (onArrive)
-            eq.schedule(arrive, std::move(onArrive));
+            q.schedule(arrive, std::move(onArrive));
         return arrive;
     }
 
@@ -95,9 +111,11 @@ class Mesh
     account(CoreId src, CoreId dst, TrafficClass cls,
             std::uint32_t bytes)
     {
-        counters.add(cls, 1, bytes,
-                     static_cast<std::uint64_t>(flits(bytes)) *
-                     hops(src, dst));
+        TrafficCounters &c = regional.empty()
+            ? counters : regional[tlsExecRegion];
+        c.add(cls, 1, bytes,
+              static_cast<std::uint64_t>(flits(bytes)) *
+              hops(src, dst));
     }
 
     /**
@@ -155,6 +173,48 @@ class Mesh
     const TrafficCounters &traffic() const { return counters; }
     void resetTraffic() { counters = TrafficCounters{}; }
 
+    /**
+     * Partitioned-mode setup: give every region (plus the merge
+     * thread, which attributes as region 0) its own traffic counter
+     * set. Sums are commutative, so after foldRegionalTraffic() the
+     * totals are independent of worker count and interleaving.
+     */
+    void
+    setNumRegions(std::uint32_t r)
+    {
+        regional.assign(r, TrafficCounters{});
+    }
+
+    /** Fold per-region counters into the main set after a run. */
+    void
+    foldRegionalTraffic()
+    {
+        for (TrafficCounters &c : regional) {
+            counters.merge(c);
+            c = TrafficCounters{};
+        }
+    }
+
+    /**
+     * Merge-time point-to-point ordering for cross-region packets:
+     * bump @p t past the last delivery of the (src, dst) pair. The
+     * pair state is shared with reserveFrom(), which is sound
+     * because a given pair is either always intra-region (both
+     * tiles in one band, touched only by that band's worker) or
+     * always cross-region (touched only by the single-threaded
+     * epoch merge).
+     */
+    Tick
+    orderedDelivery(CoreId src, CoreId dst, Tick t)
+    {
+        Tick &last = lastDelivery[static_cast<std::size_t>(src) *
+                                      numTiles() + dst];
+        if (t <= last)
+            t = last + 1;
+        last = t;
+        return t;
+    }
+
   private:
     static std::uint32_t
     absDiff(std::uint32_t a, std::uint32_t b)
@@ -194,12 +254,12 @@ class Mesh
      * Directions: 0=+x, 1=-x, 2=+y, 3=-y.
      */
     Tick
-    reserve(CoreId src, CoreId dst, std::uint32_t bytes)
+    reserveFrom(Tick now, CoreId src, CoreId dst, std::uint32_t bytes)
     {
         auto [x, y] = coords(src);
         const auto [dx, dy] = coords(dst);
         const std::uint32_t nf = flits(bytes);
-        Tick t = eq.now() + p.routerLatency;
+        Tick t = now + p.routerLatency;
 
         auto traverse = [&](std::uint32_t dir, std::uint32_t &c,
                             std::uint32_t target) {
@@ -245,6 +305,8 @@ class Mesh
     std::vector<Tick> linkNextFree;
     std::vector<Tick> lastDelivery;
     TrafficCounters counters;
+    /** Per-region counter sets (empty = monolithic). */
+    std::vector<TrafficCounters> regional;
 };
 
 } // namespace spmcoh

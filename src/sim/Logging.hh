@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -53,10 +54,24 @@ fatal(const std::string &msg)
     throw FatalError("fatal: " + msg);
 }
 
+/**
+ * Serializes warn()/inform() lines. Each helper formats its whole
+ * line in a single stdio call (which glibc already serializes), but
+ * the explicit lock makes the no-interleaving guarantee independent
+ * of the C library — region worker threads may warn concurrently.
+ */
+inline std::mutex &
+loggingMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 /** Warn about suspicious but survivable conditions. */
 inline void
 warn(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(loggingMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -64,6 +79,7 @@ warn(const std::string &msg)
 inline void
 inform(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(loggingMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Thread-local executing-region index.
+ */
+
+#include "sim/Region.hh"
+
+namespace spmcoh
+{
+
+thread_local std::uint32_t tlsExecRegion = 0;
+
+} // namespace spmcoh

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Region cut derivation implementation.
+ */
+
+#include "system/RegionMap.hh"
+
+#include <algorithm>
+
+namespace spmcoh
+{
+
+namespace
+{
+
+std::uint32_t
+absDiff(std::uint32_t a, std::uint32_t b)
+{
+    return a > b ? a - b : b - a;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+evenRegionCuts(std::uint32_t width, std::uint32_t height,
+               std::uint32_t target_regions)
+{
+    return deriveRegionCuts(width, height, target_regions, {});
+}
+
+std::vector<std::uint32_t>
+deriveRegionCuts(std::uint32_t width, std::uint32_t height,
+                 std::uint32_t target_regions,
+                 const std::vector<std::uint32_t> &aligned_cores)
+{
+    const std::uint32_t rows = height;
+    const std::uint32_t r_count = std::min(target_regions, rows);
+    if (width == 0 || r_count < 2)
+        return {};
+
+    // Rows at which a phase-graph group boundary falls exactly on a
+    // row boundary; only these can host a snapped cut.
+    std::vector<std::uint32_t> aligned_rows;
+    for (std::uint32_t c : aligned_cores)
+        if (c % width == 0 && c / width > 0 && c / width < rows)
+            aligned_rows.push_back(c / width);
+    std::sort(aligned_rows.begin(), aligned_rows.end());
+    aligned_rows.erase(
+        std::unique(aligned_rows.begin(), aligned_rows.end()),
+        aligned_rows.end());
+
+    std::vector<std::uint32_t> cuts;
+    std::uint32_t prev_row = 0;
+    for (std::uint32_t k = 1; k < r_count; ++k) {
+        // Even split target, then snap to the best feasible aligned
+        // row. Feasible: strictly after the previous cut and leaving
+        // at least one row per remaining region.
+        const std::uint32_t ideal = k * rows / r_count;
+        const std::uint32_t hi_row = rows - (r_count - k);
+        std::uint32_t row = std::max(ideal, prev_row + 1);
+        row = std::min(row, hi_row);
+        std::uint32_t best_dist = ~0u;
+        for (std::uint32_t a : aligned_rows) {
+            if (a <= prev_row || a > hi_row)
+                continue;
+            const std::uint32_t d = absDiff(a, ideal);
+            if (d < best_dist) {  // ties keep the lower row (sorted)
+                best_dist = d;
+                row = a;
+            }
+        }
+        cuts.push_back(row * width);
+        prev_row = row;
+    }
+    return cuts;
+}
+
+} // namespace spmcoh

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Region cut derivation for the partitioned simulation core.
+ *
+ * Regions are contiguous bands of whole mesh rows (tiles are laid
+ * out row-major), so a partition is fully described by its interior
+ * cut rows. Cuts are derived from the machine topology and — when
+ * the workload's phase graph is available — snapped to core-group
+ * boundaries, so kernels that synchronize tightly tend to land in
+ * one region and cross-region traffic concentrates at phase
+ * barriers, where the epoch merge is cheapest.
+ *
+ * Crucially, the derivation never looks at how many worker threads
+ * will execute the partition: the region structure is a pure
+ * function of (mesh, target region count, phase graph), which is
+ * what makes results byte-identical across --sim-threads values.
+ */
+
+#ifndef SPMCOH_SYSTEM_REGIONMAP_HH
+#define SPMCOH_SYSTEM_REGIONMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace spmcoh
+{
+
+/** Default ceiling on regions per machine (diminishing returns and
+ *  rising merge cost beyond this; callers may override). */
+constexpr std::uint32_t defaultMaxRegions = 8;
+
+/**
+ * Interior cut tile indices for up to @p target_regions even row
+ * bands of a @p width x @p height mesh. Fewer than two feasible
+ * bands yields an empty result (run monolithic).
+ */
+std::vector<std::uint32_t>
+evenRegionCuts(std::uint32_t width, std::uint32_t height,
+               std::uint32_t target_regions);
+
+/**
+ * Like evenRegionCuts, but each cut snaps to the nearest row
+ * boundary in @p aligned_cores — core indices at which some phase-
+ * graph group begins or ends (PhaseSchedule::regionCutCandidates).
+ * A candidate aligns with a row boundary when it is a multiple of
+ * @p width; candidates that are not row-aligned are ignored. When
+ * no candidate is usable for a cut, the even cut is kept. Cuts are
+ * strictly increasing; ties in distance prefer the lower row.
+ */
+std::vector<std::uint32_t>
+deriveRegionCuts(std::uint32_t width, std::uint32_t height,
+                 std::uint32_t target_regions,
+                 const std::vector<std::uint32_t> &aligned_cores);
+
+} // namespace spmcoh
+
+#endif // SPMCOH_SYSTEM_REGIONMAP_HH

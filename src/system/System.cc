@@ -5,6 +5,12 @@
 
 #include "system/System.hh"
 
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "system/RegionMap.hh"
+
 namespace spmcoh
 {
 
@@ -43,14 +49,55 @@ System::System(const SystemParams &p_)
 
     net = std::make_unique<MemNet>(eq, noc, p.numCores, p.mcTiles);
 
+    // Partitioned core setup. HybridIdeal stays monolithic: its
+    // oracle resolves same-window read-after-write against live
+    // remote mappings, which no deterministic cross-region merge
+    // order can reproduce (see docs/architecture.md).
+    std::uint32_t sim_threads =
+        p.mode == SystemMode::HybridIdeal ? 0 : p.simThreads;
+    if (sim_threads > 0) {
+        std::vector<std::uint32_t> cuts = p.regionCuts;
+        if (cuts.empty())
+            cuts = evenRegionCuts(p.mesh.width, p.mesh.height,
+                                  defaultMaxRegions);
+        std::uint32_t prev = 0;
+        for (std::uint32_t c : cuts) {
+            if (c % p.mesh.width != 0 || c <= prev || c >= tiles)
+                fatal("System: region cut " + std::to_string(c) +
+                      " is not an increasing interior row boundary");
+            prev = c;
+        }
+        if (!cuts.empty()) {
+            std::uint32_t lo = 0, idx = 0;
+            for (std::uint32_t c : cuts) {
+                regions.push_back(
+                    std::make_unique<Region>(idx++, lo, c));
+                lo = c;
+            }
+            regions.push_back(std::make_unique<Region>(
+                idx, lo, static_cast<std::uint32_t>(tiles)));
+            std::vector<Region *> ptrs;
+            for (auto &r : regions)
+                ptrs.push_back(r.get());
+            net->bindRegions(ptrs);
+        }
+    }
+    effThreads = regions.empty()
+        ? 0
+        : std::min<std::uint32_t>(
+              sim_threads, static_cast<std::uint32_t>(regions.size()));
+
     // Fatal here (with the known-protocol list) rather than deep in
     // a controller when the name is mistyped.
     const CoherenceProtocol &proto =
         ProtocolFactory::global().get(p.protocol);
 
     for (std::uint32_t i = 0; i < p.mcTiles.size(); ++i) {
+        // A controller's eq reference must be the queue its events
+        // execute on — its tile's region queue when partitioned.
         mcs.push_back(std::make_unique<MemCtrl>(
-            eq, *net, mem, i, p.mcTiles[i], p.mc));
+            net->queueFor(p.mcTiles[i]), *net, mem, i, p.mcTiles[i],
+            p.mc));
         MemCtrl *mc = mcs.back().get();
         net->setHandler(Endpoint::MemCtrl, i,
                         [mc](const Message &m) { mc->handle(m); });
@@ -114,8 +161,21 @@ System::System(const SystemParams &p_)
             *cohs[i], amap, i, p.mode, p.core,
             "core" + std::to_string(i)));
         cores.back()->setBarrierHook(
-            [this](const MicroOp &op, std::function<void()> cb) {
-                barrierFor(op).arrive(std::move(cb));
+            [this, i](const MicroOp &op, std::function<void()> cb) {
+                if (regions.empty()) {
+                    barrierFor(op).arrive(std::move(cb));
+                    return;
+                }
+                // Barrier state is shared across regions, so the
+                // arrival is a cross-region operation: it runs at
+                // the epoch merge in canonical order, and the
+                // release lands back on this core's region queue.
+                net->deferCross(
+                    net->events().now(),
+                    [this, i, op, cb = std::move(cb)]() mutable {
+                        barrierFor(op).arrive(net->queueFor(i),
+                                              std::move(cb));
+                    });
             });
     }
 }
@@ -174,10 +234,133 @@ System::run(std::vector<std::unique_ptr<OpSource>> sources)
     if (sources.size() != p.numCores)
         fatal("System: need one op source per core");
     running = std::move(sources);
+    if (!regions.empty())
+        return runPartitioned();
     for (CoreId i = 0; i < p.numCores; ++i)
         cores[i]->start(running[i].get());
     const bool drained = eq.run(p.maxTicks);
     if (!drained)
+        return false;
+    for (CoreId i = 0; i < p.numCores; ++i)
+        if (!cores[i]->finished())
+            return false;
+    return true;
+}
+
+bool
+System::runPartitioned()
+{
+    // Seed each core's first event into its own region queue.
+    for (CoreId i = 0; i < p.numCores; ++i) {
+        tlsExecRegion = net->regionOfTile(i);
+        cores[i]->start(running[i].get());
+    }
+    tlsExecRegion = 0;
+
+    const auto r_count = static_cast<std::uint32_t>(regions.size());
+    const std::uint32_t t_count = std::max<std::uint32_t>(
+        1, std::min(effThreads, r_count));
+
+    // Conservative windowed loop: the horizon is the earliest
+    // pending work anywhere (region queues or deferred cross-region
+    // entries) plus the window width. Every region runs to the
+    // horizon — events exactly at it wait for the next epoch — then
+    // the single-threaded merge applies cross-region traffic in
+    // canonical order. The horizon sequence is a pure function of
+    // simulation state, so it is identical at any thread count.
+    auto nextHorizon = [&](Tick &horizon) {
+        Tick nmin = net->crossPendingTick();
+        for (const auto &r : regions)
+            nmin = std::min(nmin, r->eq.nextTick());
+        if (nmin == maxTick)
+            return false;  // drained
+        horizon = nmin + p.simWindowTicks;
+        return true;
+    };
+
+    auto runRegion = [&](std::uint32_t idx, Tick horizon) {
+        tlsExecRegion = idx;
+        regions[idx]->eq.runUntil(horizon);
+        tlsExecRegion = 0;
+    };
+
+    bool guard_tripped = false;
+
+    if (t_count == 1) {
+        Tick horizon = 0;
+        while (nextHorizon(horizon)) {
+            if (horizon > p.maxTicks + p.simWindowTicks) {
+                guard_tripped = true;
+                break;
+            }
+            for (std::uint32_t r = 0; r < r_count; ++r)
+                runRegion(r, horizon);
+            net->mergeEpoch(horizon);
+        }
+    } else {
+        // Persistent workers, static round-robin region assignment
+        // (worker w drives regions w, w + T, ...; worker 0 is this
+        // thread). Spin barriers bracket each window: epochs are a
+        // handful of simulated ticks, so parking in the kernel every
+        // window would dominate the run.
+        SpinBarrier start_gate(t_count);
+        SpinBarrier done_gate(t_count);
+        Tick horizon = 0;
+        bool stop = false;
+        std::vector<std::exception_ptr> errors(r_count);
+
+        auto windowFor = [&](std::uint32_t w) {
+            for (std::uint32_t r = w; r < r_count; r += t_count) {
+                try {
+                    runRegion(r, horizon);
+                } catch (...) {
+                    errors[r] = std::current_exception();
+                    tlsExecRegion = 0;
+                }
+            }
+        };
+
+        std::vector<std::thread> workers;
+        for (std::uint32_t w = 1; w < t_count; ++w) {
+            workers.emplace_back([&, w] {
+                for (;;) {
+                    start_gate.wait();
+                    if (stop)
+                        return;
+                    windowFor(w);
+                    done_gate.wait();
+                }
+            });
+        }
+
+        while (nextHorizon(horizon)) {
+            if (horizon > p.maxTicks + p.simWindowTicks) {
+                guard_tripped = true;
+                break;
+            }
+            start_gate.wait();
+            windowFor(0);
+            done_gate.wait();
+            bool failed = false;
+            for (const auto &e : errors)
+                failed = failed || static_cast<bool>(e);
+            if (failed)
+                break;
+            net->mergeEpoch(horizon);
+        }
+        stop = true;
+        start_gate.wait();
+        for (std::thread &t : workers)
+            t.join();
+        // Rethrow the lowest region's failure (a deterministic
+        // choice) once the workers are parked.
+        for (const auto &e : errors)
+            if (e)
+                std::rethrow_exception(e);
+    }
+
+    noc.foldRegionalTraffic();
+    if (guard_tripped)
         return false;
     for (CoreId i = 0; i < p.numCores; ++i)
         if (!cores[i]->finished())

@@ -34,6 +34,7 @@
 #include "spm/Dmac.hh"
 #include "spm/Spm.hh"
 #include "sim/EventQueue.hh"
+#include "sim/Region.hh"
 #include "system/Topology.hh"
 
 namespace spmcoh
@@ -80,6 +81,37 @@ struct SystemParams
     /** Deadlock guard for event-loop runs. */
     Tick maxTicks = std::uint64_t(4) << 32;
     EnergyParams energy{};
+
+    /**
+     * Intra-run worker threads for the partitioned simulation core.
+     * 0 (the default) runs the exact legacy monolithic event loop.
+     * N >= 1 partitions the mesh into row-band regions, each with
+     * its own event queue, synchronized at epoch boundaries; the
+     * region structure depends only on the topology (and regionCuts),
+     * never on N, so any N >= 1 produces byte-identical results —
+     * N only caps how many regions execute concurrently.
+     * HybridIdeal mode always runs monolithic (its oracle has
+     * same-window read-after-write semantics that cannot be ordered
+     * deterministically across regions); the knob is ignored there.
+     */
+    std::uint32_t simThreads = 0;
+    /**
+     * Epoch window width in ticks: regions run ahead of the global
+     * minimum by at most this much before merging cross-region
+     * traffic. Smaller windows track the monolithic timing more
+     * closely; larger ones amortize barrier cost. Cross-region
+     * deliveries are never earlier than the epoch horizon, so the
+     * window bounds the added cross-band latency.
+     */
+    Tick simWindowTicks = 8;
+    /**
+     * Interior region boundaries as tile indices (each a multiple of
+     * the mesh width: regions are whole row bands, which keeps XY
+     * routes and link state region-confined). Empty with
+     * simThreads > 0 derives even row cuts from the mesh; the driver
+     * passes phase-graph-aligned cuts (RegionMap) instead.
+     */
+    std::vector<std::uint32_t> regionCuts;
 
     /**
      * Canonical configuration for a mode and core count. The mesh,
@@ -173,6 +205,13 @@ class System
      */
     bool run(std::vector<std::unique_ptr<OpSource>> sources);
 
+    /** Regions the machine was partitioned into (0 = monolithic). */
+    std::uint32_t numRegions() const
+    { return static_cast<std::uint32_t>(regions.size()); }
+
+    /** Worker threads the partitioned run loop will use. */
+    std::uint32_t effectiveSimThreads() const { return effThreads; }
+
     /** Collect counters/energy/traffic after a run. */
     RunResults results() const;
 
@@ -185,6 +224,9 @@ class System
     void visitStats(StatVisitor &v) const;
 
   private:
+    /** Epoch loop for the partitioned core (simThreads >= 1). */
+    bool runPartitioned();
+
     SystemParams p;
     EventQueue eq;
     Mesh noc;
@@ -192,6 +234,9 @@ class System
     MainMemory mem;
     CohFabric fabric;
     std::unique_ptr<MemNet> net;
+    /** Row-band partitions (empty = monolithic run loop). */
+    std::vector<std::unique_ptr<Region>> regions;
+    std::uint32_t effThreads = 0;
 
     std::vector<std::unique_ptr<MemCtrl>> mcs;
     std::vector<std::unique_ptr<DirectorySlice>> dirs;

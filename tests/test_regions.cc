@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the partitioned simulation core: region-cut derivation
+ * from mesh shape and phase-graph alignment candidates, windowed
+ * EventQueue semantics, multi-queue barrier release, and the
+ * headline determinism property — serial and N-sim-thread runs of
+ * the same experiment export byte-identical JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/Barrier.hh"
+#include "driver/Driver.hh"
+#include "driver/ResultSink.hh"
+#include "runtime/PhaseSchedule.hh"
+#include "sim/EventQueue.hh"
+#include "sim/Region.hh"
+#include "system/RegionMap.hh"
+
+namespace spmcoh
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Region-cut derivation
+// ---------------------------------------------------------------
+
+TEST(RegionMap, EvenCutsSplitRowsEvenly)
+{
+    // 4x2 mesh (8 tiles): two rows -> one cut at the row boundary.
+    EXPECT_EQ(evenRegionCuts(4, 2, 8),
+              (std::vector<std::uint32_t>{4}));
+    // 8x8 mesh, target 8: every row its own region.
+    const std::vector<std::uint32_t> cuts = evenRegionCuts(8, 8, 8);
+    ASSERT_EQ(cuts.size(), 7u);
+    for (std::size_t i = 0; i < cuts.size(); ++i)
+        EXPECT_EQ(cuts[i], (i + 1) * 8);
+}
+
+TEST(RegionMap, FewerRowsThanTargetClampsToRows)
+{
+    // 8x2 mesh can hold at most two row-bands however many threads
+    // are requested.
+    EXPECT_EQ(evenRegionCuts(8, 2, 8),
+              (std::vector<std::uint32_t>{8}));
+}
+
+TEST(RegionMap, SingleRowMeansNoPartitioning)
+{
+    EXPECT_TRUE(evenRegionCuts(8, 1, 8).empty());
+    EXPECT_TRUE(evenRegionCuts(0, 4, 8).empty());
+}
+
+TEST(RegionMap, CutsAreRowAlignedAndStrictlyIncreasing)
+{
+    const std::vector<std::uint32_t> cuts = evenRegionCuts(32, 32, 8);
+    ASSERT_EQ(cuts.size(), 7u);
+    std::uint32_t prev = 0;
+    for (std::uint32_t c : cuts) {
+        EXPECT_EQ(c % 32, 0u);
+        EXPECT_GT(c, prev);
+        EXPECT_LT(c, 32u * 32u);
+        prev = c;
+    }
+}
+
+TEST(RegionMap, SnapsToAlignedCandidates)
+{
+    // 4x4 mesh, two regions: the even cut would fall at tile 8 (row
+    // 2), but a phase-graph boundary at tile 4 (row 1) within reach
+    // pulls the cut there only if it is closer to the ideal than any
+    // other candidate. Candidate 8 is exactly the ideal, so it wins.
+    EXPECT_EQ(deriveRegionCuts(4, 4, 2, {0, 8, 16}),
+              (std::vector<std::uint32_t>{8}));
+    // With candidates {0, 4, 16} the aligned row nearest the ideal
+    // (row 2) is row 1 -> cut at 4.
+    EXPECT_EQ(deriveRegionCuts(4, 4, 2, {0, 4, 16}),
+              (std::vector<std::uint32_t>{4}));
+    // Candidates that are not whole rows are ignored.
+    EXPECT_EQ(deriveRegionCuts(4, 4, 2, {0, 6, 16}),
+              (std::vector<std::uint32_t>{8}));
+}
+
+TEST(RegionMap, SnappingKeepsCutsDistinct)
+{
+    // All aligned candidates cluster on row 1; later cuts must still
+    // advance one row at a time rather than collapsing.
+    const std::vector<std::uint32_t> cuts =
+        deriveRegionCuts(4, 4, 4, {4});
+    ASSERT_EQ(cuts.size(), 3u);
+    std::uint32_t prev = 0;
+    for (std::uint32_t c : cuts) {
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+// ---------------------------------------------------------------
+// Phase-graph cut candidates
+// ---------------------------------------------------------------
+
+TEST(PhaseSchedule, RegionCutCandidatesComeFromGroupBounds)
+{
+    // The pipeline workload splits cores into producer/consumer
+    // groups, so its schedule should advertise interior core
+    // boundaries besides the trivial 0 and numCores.
+    const ProgramDecl prog =
+        WorkloadRegistry::global().build("pipeline", 8, 1.0, {});
+    const PreparedProgram pp = prepareProgram(prog, 8, 32 * 1024);
+    const std::vector<std::uint32_t> cand =
+        pp.schedule.regionCutCandidates();
+    ASSERT_GE(cand.size(), 2u);
+    EXPECT_EQ(cand.front(), 0u);
+    EXPECT_EQ(cand.back(), 8u);
+    for (std::size_t i = 1; i < cand.size(); ++i)
+        EXPECT_GT(cand[i], cand[i - 1]);
+}
+
+// ---------------------------------------------------------------
+// Windowed event-queue execution
+// ---------------------------------------------------------------
+
+TEST(EventQueueWindow, RunUntilStopsAtHorizon)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(5); });
+    eq.schedule(10, [&] { order.push_back(10); });
+    eq.schedule(20, [&] { order.push_back(20); });
+
+    EXPECT_EQ(eq.nextTick(), 5u);
+    eq.runUntil(10);
+    // Events strictly before the horizon ran; the tick-10 event is
+    // next epoch's work. Time still advanced to the horizon.
+    EXPECT_EQ(order, (std::vector<int>{5}));
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.nextTick(), 10u);
+
+    eq.runUntil(25);
+    EXPECT_EQ(order, (std::vector<int>{5, 10, 20}));
+    EXPECT_EQ(eq.now(), 25u);
+}
+
+TEST(EventQueueWindow, EventsScheduledInsideWindowStillRun)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(2, [&] { ++fired; });   // lands at 3, < 8
+        eq.scheduleIn(10, [&] { ++fired; });  // lands at 11, >= 8
+    });
+    eq.runUntil(8);
+    EXPECT_EQ(fired, 2);
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 3);
+}
+
+// ---------------------------------------------------------------
+// Multi-queue barrier release
+// ---------------------------------------------------------------
+
+TEST(BarrierRegions, ReleasesOneEventPerQueueInArrivalOrder)
+{
+    EventQueue qa, qb;
+    // Two queues parked at different current times: each waiter's
+    // release is relative to its own queue.
+    qa.schedule(100, [] {});
+    qb.schedule(40, [] {});
+    qa.run();
+    qb.run();
+
+    Barrier bar(qa, 3, /*release_latency=*/7);
+    std::vector<std::string> order;
+    bar.arrive(qa, [&] { order.push_back("a0"); });
+    bar.arrive(qb, [&] { order.push_back("b0"); });
+    EXPECT_EQ(bar.pendingArrivals(), 2u);
+    bar.arrive(qa, [&] { order.push_back("a1"); });
+    EXPECT_EQ(bar.pendingArrivals(), 0u);
+    EXPECT_EQ(bar.generation(), 1u);
+
+    qa.run();
+    qb.run();
+    // qa's single release event runs both of its callbacks in
+    // arrival order; qb's runs independently on its own queue.
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"a0", "a1", "b0"}));
+    EXPECT_EQ(qa.now(), 107u);
+    EXPECT_EQ(qb.now(), 47u);
+}
+
+// ---------------------------------------------------------------
+// End-to-end determinism: serial vs N sim threads
+// ---------------------------------------------------------------
+
+std::string
+runToJson(const std::string &workload, std::uint32_t sim_threads)
+{
+    const ExperimentSpec spec = ExperimentBuilder()
+                                    .workload(workload)
+                                    .mode(SystemMode::HybridProto)
+                                    .cores(8)
+                                    .simThreads(sim_threads)
+                                    .spec();
+    const ExperimentResult res = runExperiment(spec);
+    std::ostringstream os;
+    auto sink = makeResultSink(ResultFormat::Json, os,
+                               /*with_stats=*/true);
+    sink->begin("determinism");
+    sink->add(res);
+    sink->end();
+    return os.str();
+}
+
+TEST(PartitionedDeterminism, ThreadCountNeverChangesResults)
+{
+    // The region structure is derived from the topology and phase
+    // graph alone, so every sim-thread count >= 1 must export the
+    // same bytes — including the full per-component stats block.
+    for (const char *wl : {"pipeline", "contend", "graphwalk"}) {
+        const std::string serial = runToJson(wl, 1);
+        EXPECT_EQ(serial, runToJson(wl, 2)) << wl;
+        EXPECT_EQ(serial, runToJson(wl, 4)) << wl;
+    }
+}
+
+TEST(PartitionedDeterminism, RepeatedRunsAreStable)
+{
+    const std::string a = runToJson("pipeline", 2);
+    const std::string b = runToJson("pipeline", 2);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace spmcoh
