@@ -103,5 +103,47 @@ main(int argc, char **argv)
                 "64-core reference: the paper's Table 1 machine "
                 "(Fig. 7 overhead +1..11%%, Fig. 9 speedup "
                 "1.03-1.22x).\n");
+
+    // Chip axis: the same 64-core machine split over a multi-chip
+    // fabric. CG's working set is chip-local, so the slowdown here
+    // is the floor cost of the fabric (barriers and the escalated
+    // fraction of directory traffic), not a pipeline's handoffs.
+    header("Multi-chip fabric: CG, 64 cores over 1/2/4 chips "
+           "(hybrid-proto)");
+    SweepSpec chip_sweep;
+    chip_sweep.workloads = {"CG"};
+    chip_sweep.modes = {SystemMode::HybridProto};
+    chip_sweep.coreCounts = {64};
+    chip_sweep.chipCounts = {1, 2, 4};
+    chip_sweep.scales = {evalScale};
+    const auto chip_results = bm.runner.run(chip_sweep);
+    std::printf("%7s %9s | %12s %9s | %12s %12s\n", "chips",
+                "mesh", "cycles", "slowdown", "crossings",
+                "linkPackets");
+    const Tick one_chip = chip_results.front().results.cycles;
+    for (const ExperimentResult &r : chip_results) {
+        char mesh[24];
+        std::snprintf(mesh, sizeof(mesh), "%ux%ux%u",
+                      r.params.mesh.chips, r.params.mesh.width,
+                      r.params.mesh.height);
+        std::uint64_t crossings = 0, link_packets = 0;
+        const auto ha = r.stats.find("homeagent");
+        if (ha != r.stats.end())
+            crossings = ha->second.counters.at("crossings");
+        const auto ic = r.stats.find("iclink");
+        if (ic != r.stats.end())
+            link_packets = ic->second.counters.at("upPackets") +
+                           ic->second.counters.at("downPackets");
+        std::printf("%7u %9s | %12llu %8.3fx | %12llu %12llu\n",
+                    r.params.mesh.chips, mesh,
+                    static_cast<unsigned long long>(
+                        r.results.cycles),
+                    double(r.results.cycles) / double(one_chip),
+                    static_cast<unsigned long long>(crossings),
+                    static_cast<unsigned long long>(link_packets));
+    }
+    std::printf("\ncrossings = packets through the global home "
+                "agent; linkPackets = both\ndirections of every "
+                "inter-chip link.\n");
     return 0;
 }

@@ -46,12 +46,14 @@ struct Sample
 
 Sample
 measure(const std::string &workload, std::uint32_t reps,
-        std::uint32_t cores, std::uint32_t sim_threads)
+        std::uint32_t cores, std::uint32_t chips,
+        std::uint32_t sim_threads)
 {
     const ExperimentSpec spec = ExperimentBuilder()
                                     .workload(workload)
                                     .mode(SystemMode::HybridProto)
                                     .cores(cores)
+                                    .chips(chips)
                                     .simThreads(sim_threads)
                                     .spec();
     runExperiment(spec);  // warm-up: page in code + allocator state
@@ -89,6 +91,7 @@ main(int argc, char **argv)
 {
     std::uint32_t reps = 3;
     std::uint32_t cores = 8;
+    std::uint32_t chips = 1;
     std::uint32_t sim_threads = 0;
     std::string out_file;
     for (int i = 1; i < argc; ++i) {
@@ -109,6 +112,14 @@ main(int argc, char **argv)
                 return 2;
             }
             cores = static_cast<std::uint32_t>(v);
+        } else if (std::strncmp(arg, "--chips=", 8) == 0) {
+            const long v = std::strtol(arg + 8, nullptr, 10);
+            if (v < 1) {
+                std::fprintf(stderr, "bad chip count '%s'\n",
+                             arg + 8);
+                return 2;
+            }
+            chips = static_cast<std::uint32_t>(v);
         } else if (std::strncmp(arg, "--sim-threads=", 14) == 0) {
             const long v = std::strtol(arg + 14, nullptr, 10);
             if (v < 0) {
@@ -123,7 +134,8 @@ main(int argc, char **argv)
             std::printf("simulator wall-clock per simulated cycle "
                         "on fixed CG/pipeline experiments\n"
                         "usage: %s [--reps=N] [--cores=N] "
-                        "[--sim-threads=N] [--out=FILE]\n",
+                        "[--chips=N] [--sim-threads=N] "
+                        "[--out=FILE]\n",
                         argv[0]);
             return 0;
         } else {
@@ -155,10 +167,12 @@ main(int argc, char **argv)
         // intra-run thread count (0 = monolithic event loop).
         w.key("buildType").value(SPMCOH_BUILD_TYPE);
         w.key("cores").value(std::uint64_t{cores});
+        w.key("chips").value(std::uint64_t{chips});
         w.key("simThreads").value(std::uint64_t{sim_threads});
         w.key("experiments").beginArray();
         for (const char *wl : {"CG", "pipeline"}) {
-            const Sample s = measure(wl, reps, cores, sim_threads);
+            const Sample s =
+                measure(wl, reps, cores, chips, sim_threads);
             w.beginObject();
             w.key("name").value(s.name);
             w.key("simCycles").value(s.simCycles);

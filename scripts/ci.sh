@@ -92,6 +92,30 @@ echo "== result regression check (contend 8-core vs golden) =="
 python3 scripts/diff_results.py "$BUILD_DIR"/contend8.json \
     tests/golden/contend8_smoke.json
 
+echo "== result regression check (pipeline 2-chip 16-core vs golden) =="
+"$BUILD_DIR"/spmcoh_run --workload=pipeline --cores=16 --chips=2 \
+    --jobs=2 --format=json --no-stats > "$BUILD_DIR"/pipeline2x8.json
+python3 scripts/diff_results.py "$BUILD_DIR"/pipeline2x8.json \
+    tests/golden/pipeline2x8_smoke.json
+
+echo "== single-chip equivalence (--chips=1 changes nothing) =="
+# An explicit --chips=1 must be byte-identical to the implicit
+# default — the fabric must not exist at one chip.
+"$BUILD_DIR"/spmcoh_run --workload=pipeline --cores=8 --chips=1 \
+    --jobs=2 --format=json --no-stats > "$BUILD_DIR"/pipeline8_1chip.json
+cmp "$BUILD_DIR"/pipeline8_1chip.json tests/golden/pipeline8_smoke.json || {
+    echo "--chips=1 diverged from the single-chip golden"; exit 1; }
+
+echo "== cross-chip fabric smoke (home agent + links in stats) =="
+"$BUILD_DIR"/spmcoh_run --workload=xpipeline --cores=16 --chips=2 \
+    --far-mem-lat=200 --format=json > "$BUILD_DIR"/xchip.json
+grep -q '"homeagent"' "$BUILD_DIR"/xchip.json
+grep -q '"iclink"' "$BUILD_DIR"/xchip.json
+grep -q '"farmem"' "$BUILD_DIR"/xchip.json
+# Link traffic and home-agent crossings must be non-zero.
+grep -q '"upPackets":[1-9]' "$BUILD_DIR"/xchip.json
+grep -q '"crossings":[1-9]' "$BUILD_DIR"/xchip.json
+
 echo "== determinism stress (jobs=1 vs jobs=4, run twice each) =="
 # A multi-axis sweep (2 workloads x 2 protocols x 2 scales) executed
 # serially and on 4 worker threads, twice each, must produce four
@@ -99,11 +123,13 @@ echo "== determinism stress (jobs=1 vs jobs=4, run twice each) =="
 # shared mutable state between sweep points (allocator-address
 # ordering, pool reuse across experiments, stray globals) — the
 # per-experiment goldens above cannot see cross-experiment leaks.
+# The --chips axis rides along so multi-chip points (with their
+# home-agent and link state) are covered by the same gate.
 for run in 1a 1b 4a 4b; do
     jobs="${run%[ab]}"
     "$BUILD_DIR"/spmcoh_run --workload=gather,contend \
         --protocol=spm-hybrid,mesi --scale=1.0,1.25 --cores=8 \
-        --jobs="$jobs" --format=json --no-stats \
+        --chips=1,2 --jobs="$jobs" --format=json --no-stats \
         > "$BUILD_DIR"/determinism_"$run".json
 done
 for run in 1b 4a 4b; do

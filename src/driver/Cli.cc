@@ -68,12 +68,23 @@ cliUsage(const std::string &prog)
         "  --cores=LIST      core counts (default: 64); each count\n"
         "                    must tile a mesh (64, 128, 256, 512,\n"
         "                    1024, ..., up to 4096)\n"
+        "  --chips=LIST      chip counts (default: 1); the cores\n"
+        "                    split evenly over N single-mesh chips\n"
+        "                    joined by inter-chip links and a global\n"
+        "                    home agent\n"
         "  --scale=LIST      workload scale factors (default: 1.0)\n"
         "  --wparam=K=LIST   workload parameter K (declared surface\n"
         "                    per workload: --list-workloads); a comma\n"
         "                    list adds one sweep point per value, and\n"
         "                    the flag repeats for several parameters\n"
         "                    (cartesian)\n"
+        "\n"
+        "multi-chip memory (applied to chips >= 2 points only):\n"
+        "  --far-mem-lat=N   pooled far-memory access latency in\n"
+        "                    ticks; 0 disables the far tier\n"
+        "                    (default 0)\n"
+        "  --far-mem-bw=N    pooled far-memory bytes per cycle\n"
+        "                    (default: model default)\n"
         "\n"
         "variant axes (cartesian with each other):\n"
         "  --filter-entries=LIST  coherence filter capacities; adds\n"
@@ -220,6 +231,38 @@ parseCli(const std::vector<std::string> &args,
                 else
                     opt.sweep.coreCounts.push_back(count);
             }
+        } else if ((v = flagValue(arg, "--chips"))) {
+            opt.sweep.chipCounts.clear();
+            for (const std::string &c : splitList(*v)) {
+                const auto n = parseUint(c);
+                if (!n || *n == 0 ||
+                    *n > std::numeric_limits<std::uint32_t>::max()) {
+                    errs.push_back("bad chip count '" + c + "'");
+                    continue;
+                }
+                // The per-chip tiling also depends on the core
+                // count, so full validation waits for expand().
+                opt.sweep.chipCounts.push_back(
+                    static_cast<std::uint32_t>(*n));
+            }
+            if (opt.sweep.chipCounts.empty())
+                errs.push_back("--chips lists no chip counts");
+        } else if ((v = flagValue(arg, "--far-mem-lat"))) {
+            const auto n = parseUint(*v);
+            if (!n)
+                errs.push_back("bad far-memory latency '" + *v +
+                               "' (expected ticks; 0 disables)");
+            else
+                opt.sweep.farMemLat = *n;
+        } else if ((v = flagValue(arg, "--far-mem-bw"))) {
+            const auto n = parseUint(*v);
+            if (!n || *n == 0 ||
+                *n > std::numeric_limits<std::uint32_t>::max())
+                errs.push_back("bad far-memory width '" + *v +
+                               "' (expected bytes per cycle)");
+            else
+                opt.sweep.farMemBw =
+                    static_cast<std::uint32_t>(*n);
         } else if ((v = flagValue(arg, "--scale"))) {
             for (const std::string &s : splitList(*v)) {
                 const auto x = parseDouble(s);
@@ -336,6 +379,17 @@ parseCli(const std::vector<std::string> &args,
                        "--workload=all)");
     else if (opt.sweep.workloads.empty())
         errs.push_back("--workload lists no workloads");
+
+    if (opt.sweep.farMemLat > 0) {
+        // expand() drops the far tier from single-chip points, so a
+        // sweep with no multi-chip point would silently ignore it.
+        bool multi = false;
+        for (std::uint32_t ch : opt.sweep.chipCounts)
+            multi = multi || ch > 1;
+        if (!multi)
+            errs.push_back("--far-mem-lat needs a chips >= 2 point "
+                           "on the --chips axis");
+    }
 
     if (opt.sweep.modes.empty())
         opt.sweep.modes.push_back(SystemMode::HybridProto);

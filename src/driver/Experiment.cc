@@ -126,8 +126,13 @@ SystemParams
 ExperimentSpec::resolvedParams() const
 {
     if (!paramsOverride) {
-        SystemParams p = SystemParams::forMode(mode, cores);
+        SystemParams p = SystemParams::forMode(mode, cores, chips);
         p.protocol = protocol;
+        if (farMemLat > 0) {
+            p.farMemLatency = farMemLat;
+            if (farMemBw > 0)
+                p.farMemBytesPerCycle = farMemBw;
+        }
         return p;
     }
     // The mode and protocol axes are always authoritative; the core
@@ -144,13 +149,28 @@ ExperimentSpec::resolvedParams() const
 std::string
 ExperimentSpec::label() const
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "/%uc/x%.2f", cores, scale);
+    char buf[96];
+    if (chips > 1)
+        std::snprintf(buf, sizeof(buf), "/%uc/%uchip/x%.2f", cores,
+                      chips, scale);
+    else
+        std::snprintf(buf, sizeof(buf), "/%uc/x%.2f", cores, scale);
     std::string out =
         workload + "/" + systemModeName(mode);
     if (protocol != ProtocolFactory::defaultName())
         out += "/" + protocol;
     out += buf;
+    if (farMemLat > 0) {
+        char fm[48];
+        if (farMemBw > 0)
+            std::snprintf(fm, sizeof(fm), "/fm%llub%u",
+                          static_cast<unsigned long long>(farMemLat),
+                          farMemBw);
+        else
+            std::snprintf(fm, sizeof(fm), "/fm%llu",
+                          static_cast<unsigned long long>(farMemLat));
+        out += fm;
+    }
     if (!wparams.empty())
         out += "{" + wparams.render() + "}";
     if (!variant.empty())
@@ -178,8 +198,13 @@ validateExperiment(const ExperimentSpec &spec,
                        "'; known protocols: " +
                        ProtocolFactory::global().namesJoined());
     const auto cores_err = Topology::checkCores(spec.cores);
-    if (cores_err && !spec.paramsOverride)
-        errs.push_back(*cores_err);
+    const auto sys_err =
+        Topology::checkSystem(spec.cores, spec.chips);
+    if (sys_err && !spec.paramsOverride)
+        errs.push_back(*sys_err);
+    if (spec.farMemLat > 0 && spec.chips < 2)
+        errs.push_back("the pooled far-memory tier needs a "
+                       "multi-chip fabric (chips >= 2)");
     if (!(spec.scale > 0.0) || !std::isfinite(spec.scale))
         errs.push_back("workload scale must be positive and finite");
 
@@ -197,8 +222,14 @@ validateExperiment(const ExperimentSpec &spec,
                 "says " + std::to_string(spec.cores) +
                 "; rebuild it with SystemParams::forMode(mode, " +
                 std::to_string(spec.cores) + ")");
+        if (p.mesh.chips != spec.chips)
+            errs.push_back(
+                "params override was built for " +
+                std::to_string(p.mesh.chips) + " chip(s) but the "
+                "spec says " + std::to_string(spec.chips));
         const std::uint64_t tiles =
-            std::uint64_t(p.mesh.width) * p.mesh.height;
+            std::uint64_t(p.mesh.width) * p.mesh.height *
+            (p.mesh.chips ? p.mesh.chips : 1);
         if (tiles < p.numCores)
             errs.push_back(
                 "mesh " + std::to_string(p.mesh.width) + "x" +
@@ -257,7 +288,8 @@ runExperiment(const ExperimentSpec &spec, const WorkloadRegistry &reg,
         out.params.regionCuts = deriveRegionCuts(
             out.params.mesh.width, out.params.mesh.height,
             defaultMaxRegions,
-            prepared->schedule.regionCutCandidates());
+            prepared->schedule.regionCutCandidates(),
+            out.params.mesh.chips);
     }
 
     System sys(out.params);

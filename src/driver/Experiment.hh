@@ -82,6 +82,12 @@ struct ExperimentSpec
     /** Coherence protocol name (ProtocolFactory key). */
     std::string protocol = ProtocolFactory::defaultName();
     std::uint32_t cores = 64;
+    /** Chips the cores distribute over (Topology::forSystem). */
+    std::uint32_t chips = 1;
+    /** Pooled far-memory latency, 0 = no far tier (chips > 1 only). */
+    Tick farMemLat = 0;
+    /** Pooled far-memory serialization width; 0 = model default. */
+    std::uint32_t farMemBw = 0;
     double scale = 1.0;
     /**
      * Workload parameters, validated against the workload's spec
@@ -116,9 +122,9 @@ struct ExperimentSpec
      */
     SystemParams resolvedParams() const;
 
-    /** "CG/hybrid-proto[/protocol]/64c/x1.00[{params}][+variant]"
-     *  label; the protocol segment appears only when it is not the
-     *  default. */
+    /** "CG/hybrid-proto[/protocol]/64c[/2chip]/x1.00[/fm200[b8]]
+     *  [{params}][+variant]" label; the protocol, chips and far-mem
+     *  segments appear only off their defaults. */
     std::string label() const;
 };
 
@@ -195,6 +201,23 @@ class ExperimentBuilder
     cores(std::uint32_t n)
     {
         s.cores = n;
+        return *this;
+    }
+
+    /** Distribute the cores over @p n chips (multi-chip fabric). */
+    ExperimentBuilder &
+    chips(std::uint32_t n)
+    {
+        s.chips = n;
+        return *this;
+    }
+
+    /** Pooled far-memory tier: latency + optional link width. */
+    ExperimentBuilder &
+    farMem(Tick latency, std::uint32_t bytes_per_cycle = 0)
+    {
+        s.farMemLat = latency;
+        s.farMemBw = bytes_per_cycle;
         return *this;
     }
 

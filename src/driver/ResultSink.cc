@@ -98,7 +98,8 @@ class CsvSink final : public ResultSink
     {
         if (!title.empty())
             os << "# " << title << '\n';
-        os << "workload,mode,protocol,cores,scale,wparams,variant,"
+        os << "workload,mode,protocol,cores,chips,farMemLat,scale,"
+              "wparams,variant,"
               "cycles,controlCycles,syncCycles,workCycles";
         for (std::size_t c = 0; c < numTrafficClasses; ++c)
             os << ',' << trafficClassName(
@@ -125,7 +126,8 @@ class CsvSink final : public ResultSink
         os << r.spec.workload << ','
            << systemModeName(r.spec.mode) << ','
            << r.spec.protocol << ','
-           << r.spec.cores << ',' << r.spec.scale << ','
+           << r.spec.cores << ',' << r.spec.chips << ','
+           << r.spec.farMemLat << ',' << r.spec.scale << ','
            << wp << ',' << r.spec.variant << ',' << rr.cycles << ','
            << rr.phaseCycles[0] << ',' << rr.phaseCycles[1] << ','
            << rr.phaseCycles[2];
@@ -186,6 +188,15 @@ class JsonSink final : public ResultSink
         w.key("workload").value(r.spec.workload);
         w.key("mode").value(systemModeName(r.spec.mode));
         w.key("cores").value(r.spec.cores);
+        // Emitted only off the default so single-chip goldens stay
+        // byte-identical (same discipline as "protocol" below).
+        if (r.spec.chips > 1)
+            w.key("chips").value(r.spec.chips);
+        if (r.spec.farMemLat > 0) {
+            w.key("farMemLat").value(r.spec.farMemLat);
+            if (r.spec.farMemBw > 0)
+                w.key("farMemBw").value(r.spec.farMemBw);
+        }
         w.key("scale").value(r.spec.scale);
         w.key("wparams").beginObject();
         for (const auto &kv : r.spec.wparams.all())
@@ -206,6 +217,14 @@ class JsonSink final : public ResultSink
         w.key("spmDirEntries").value(r.params.coh.spmDirEntries);
         w.key("meshWidth").value(r.params.mesh.width);
         w.key("meshHeight").value(r.params.mesh.height);
+        if (r.params.mesh.chips > 1) {
+            w.key("meshChips").value(r.params.mesh.chips);
+            if (r.params.farMemLatency > 0) {
+                w.key("farMemLatency").value(r.params.farMemLatency);
+                w.key("farMemBytesPerCycle")
+                    .value(r.params.farMemBytesPerCycle);
+            }
+        }
         w.key("prefetcherEnabled")
             .value(r.params.l1d.prefetcher.enabled);
         w.endObject();

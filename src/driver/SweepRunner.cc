@@ -47,7 +47,7 @@ SweepRunner::expand(const SweepSpec &sweep) const
     if (sweep.workloads.empty())
         fatal("SweepRunner: sweep needs at least one workload");
     if (sweep.modes.empty() || sweep.coreCounts.empty() ||
-        sweep.scales.empty())
+        sweep.chipCounts.empty() || sweep.scales.empty())
         fatal("SweepRunner: sweep axes must not be empty");
 
     std::vector<SweepVariant> variants = sweep.variants;
@@ -66,6 +66,7 @@ SweepRunner::expand(const SweepSpec &sweep) const
         for (SystemMode m : sweep.modes) {
           for (const std::string &proto : protocols) {
             for (std::uint32_t c : sweep.coreCounts) {
+              for (std::uint32_t ch : sweep.chipCounts) {
                 for (double s : sweep.scales) {
                   for (const WorkloadParams &wp : ppoints) {
                     for (const SweepVariant &v : variants) {
@@ -74,6 +75,13 @@ SweepRunner::expand(const SweepSpec &sweep) const
                         e.mode = m;
                         e.protocol = proto;
                         e.cores = c;
+                        e.chips = ch;
+                        // The far tier only exists behind a hub:
+                        // single-chip points on a mixed chip axis
+                        // run without it rather than failing
+                        // validation.
+                        e.farMemLat = ch > 1 ? sweep.farMemLat : 0;
+                        e.farMemBw = ch > 1 ? sweep.farMemBw : 0;
                         e.scale = s;
                         e.wparams = wp;
                         e.variant = v.name;
@@ -96,6 +104,7 @@ SweepRunner::expand(const SweepSpec &sweep) const
                     }
                   }
                 }
+              }
             }
           }
         }

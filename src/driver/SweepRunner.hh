@@ -45,6 +45,8 @@ struct SweepSpec
     /** Coherence-protocol axis; empty = default protocol only. */
     std::vector<std::string> protocols;
     std::vector<std::uint32_t> coreCounts{64};
+    /** Chip-count axis (Topology::forSystem); {1} = single chip. */
+    std::vector<std::uint32_t> chipCounts{1};
     std::vector<double> scales{1.0};
     /** Workload-parameter points; empty = spec defaults only. */
     std::vector<WorkloadParams> paramPoints;
@@ -57,6 +59,13 @@ struct SweepSpec
      * the executor's sweep-point parallelism (--jobs).
      */
     std::uint32_t simThreads = 0;
+    /**
+     * Pooled far-memory tier, stamped onto every expanded spec
+     * (ExperimentSpec::farMemLat/farMemBw); meaningful only with a
+     * chips >= 2 point on the chip axis. Not an axis itself.
+     */
+    Tick farMemLat = 0;
+    std::uint32_t farMemBw = 0;
 };
 
 /**
@@ -137,9 +146,9 @@ class SweepRunner
     /**
      * Expand the cartesian product of @p sweep into validated
      * specs, ordered workload-major (modes, protocols, cores,
-     * scales, workload parameters, variants vary fastest, in that
-     * nesting order). Fatal listing every validation problem when
-     * any point is invalid.
+     * chips, scales, workload parameters, variants vary fastest, in
+     * that nesting order). Fatal listing every validation problem
+     * when any point is invalid.
      */
     std::vector<ExperimentSpec> expand(const SweepSpec &sweep) const;
 

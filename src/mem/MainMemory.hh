@@ -118,6 +118,73 @@ struct MemCtrlParams
     Tick serviceDenom = 1;
 };
 
+/** Pooled far-memory tier parameters (multi-chip fabrics). */
+struct PooledMemoryParams
+{
+    Tick accessLatency = 0;          ///< pool access time (cycles)
+    std::uint32_t bytesPerCycle = 8; ///< pool serialization width
+    std::uint32_t chips = 1;         ///< fabric size (backing map)
+};
+
+/**
+ * The disaggregated far-memory pool behind the hub. Lines are
+ * statically interleaved over the chips; a controller whose chip
+ * does not back a line pays the pool's latency and bandwidth for it
+ * instead of local DRAM timing. Functional data still lives in
+ * MainMemory — the pool only prices the access.
+ *
+ * Determinism: serviceAt() mutates one shared next-free slot, so it
+ * is only ever called from the monolithic event loop or from the
+ * single-threaded epoch merge (controllers route pooled accesses
+ * through MemNet::deferCross).
+ */
+class PooledMemory
+{
+  public:
+    explicit PooledMemory(const PooledMemoryParams &p_)
+        : p(p_), stats("farmem"),
+          stReads(stats.counter("reads")),
+          stWrites(stats.counter("writes")),
+          queueDelay(stats.histogram(
+              "queueDelay", {1, 2, 4, 8, 16, 32, 64, 128, 256}))
+    {}
+
+    /** Chip whose local DRAM backs a line (static interleave). */
+    std::uint32_t
+    backingChip(Addr addr) const
+    {
+        return interleaveSlice(addr >> lineShift, p.chips);
+    }
+
+    /** Service one line access arriving at @p t; returns done tick. */
+    Tick
+    serviceAt(Tick t, bool is_write)
+    {
+        if (is_write)
+            ++stWrites;
+        else
+            ++stReads;
+        const std::uint32_t w = p.bytesPerCycle ? p.bytesPerCycle : 1;
+        const Tick occ = static_cast<Tick>(divCeil(lineBytes, w));
+        Tick start = t;
+        if (nextFree > start)
+            start = nextFree;
+        nextFree = start + occ;
+        queueDelay.sample(start - t);
+        return start + occ + p.accessLatency;
+    }
+
+    const StatGroup &statGroup() const { return stats; }
+
+  private:
+    PooledMemoryParams p;
+    Tick nextFree = 0;
+    StatGroup stats;
+    Counter &stReads;
+    Counter &stWrites;
+    Histogram &queueDelay;
+};
+
 class MemNet;
 
 /**
@@ -128,8 +195,10 @@ class MemCtrl
 {
   public:
     MemCtrl(EventQueue &eq_, MemNet &net_, MainMemory &mem_,
-            std::uint32_t id_, CoreId tile_, const MemCtrlParams &p_)
+            std::uint32_t id_, CoreId tile_, const MemCtrlParams &p_,
+            PooledMemory *pool_ = nullptr, std::uint32_t chip_ = 0)
         : eq(eq_), net(net_), mem(mem_), id(id_), tile(tile_), p(p_),
+          pool(pool_), myChip(chip_),
           stats("memctrl" + std::to_string(id_)),
           stReads(stats.counter("reads")),
           stWrites(stats.counter("writes"))
@@ -140,6 +209,8 @@ class MemCtrl
     const StatGroup &statGroup() const { return stats; }
 
   private:
+    /** Serve a line the far pool backs instead of local DRAM. */
+    void servePooled(const Message &msg, bool is_write);
     Tick
     serviceSlot()
     {
@@ -161,6 +232,8 @@ class MemCtrl
     std::uint32_t id;
     CoreId tile;
     MemCtrlParams p;
+    PooledMemory *pool;    ///< far tier, or nullptr (single chip)
+    std::uint32_t myChip;  ///< chip this controller sits on
     Tick nextFree = 0;
     StatGroup stats;
     /** Hot-path counters, resolved once at construction. */

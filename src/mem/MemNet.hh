@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "coherence/HomeAgent.hh"
 #include "mem/MessagePool.hh"
 #include "mem/Messages.hh"
 #include "noc/Mesh.hh"
@@ -63,15 +64,24 @@ class MemNet
         return interleaveSlice(line_addr >> lineShift, numCores);
     }
 
-    /** Memory controller index nearest to a tile (static mapping). */
+    /**
+     * Memory controller index nearest to a tile (static mapping).
+     * Controllers on the tile's own chip always win: every chip
+     * keeps a local controller population, and a gateway-adjacent
+     * tile must not adopt a remote chip's controller just because
+     * the hub is one hop away.
+     */
     std::uint32_t
     nearestMemCtrl(CoreId tile) const
     {
+        const auto dist = [this, tile](CoreId mc) {
+            return mesh.hops(tile, mc) +
+                   (mesh.sameChip(tile, mc) ? 0u : crossChipPenalty);
+        };
         std::uint32_t best = 0;
-        std::uint32_t best_h =
-            mesh.hops(tile, mcTiles[0]);
+        std::uint32_t best_h = dist(mcTiles[0]);
         for (std::uint32_t i = 1; i < mcTiles.size(); ++i) {
-            const std::uint32_t h = mesh.hops(tile, mcTiles[i]);
+            const std::uint32_t h = dist(mcTiles[i]);
             if (h < best_h) {
                 best_h = h;
                 best = i;
@@ -79,6 +89,10 @@ class MemNet
         }
         return best;
     }
+
+    /** The hub's home agent (multi-chip fabrics only). */
+    void setHomeAgent(HomeAgent *a) { agent = a; }
+    HomeAgent *homeAgent() { return agent; }
 
     CoreId mcTile(std::uint32_t mc) const { return mcTiles[mc]; }
     std::uint32_t numMemCtrls() const
@@ -121,6 +135,9 @@ class MemNet
             // SmallFunction); the handler address is stable because
             // handler vectors never resize after construction.
             Message *pm = pool.acquire(msg);
+            if (!mesh.sameChip(src_tile, dst_tile))
+                return sendInterChip(src_tile, dst_tile, cls, bytes,
+                                     pm, hp);
             return mesh.send(src_tile, dst_tile, cls, bytes,
                              [this, hp, pm] {
                                  (*hp)(*pm);
@@ -373,7 +390,22 @@ class MemNet
     {
         if (account)
             mesh.account(src, dst, cls, bytes);
-        Tick t = send_tick + mesh.routeLatency(src, dst, bytes);
+        Tick t;
+        if (!mesh.sameChip(src, dst)) {
+            // Cross-chip from merge context: contention-free on-chip
+            // legs (like any cross-region packet), stateful link and
+            // hub reservations (safe: the merge is single-threaded
+            // and chip boundaries are always region boundaries, so
+            // no worker ever touches this state).
+            const std::uint32_t sc = mesh.chipOf(src);
+            const std::uint32_t dc = mesh.chipOf(dst);
+            t = send_tick +
+                mesh.routeLatency(src, mesh.gatewayOf(sc), bytes);
+            t = crossChipTransit(t, msg, sc, dc, send_tick, bytes);
+            t += mesh.routeLatency(mesh.gatewayOf(dc), dst, bytes);
+        } else {
+            t = send_tick + mesh.routeLatency(src, dst, bytes);
+        }
         if (t < mergeHorizon)
             t = mergeHorizon;
         t = mesh.orderedDelivery(src, dst, t);
@@ -383,6 +415,41 @@ class MemNet
             msgPool().release(pm);
         });
         return t;
+    }
+
+    /**
+     * Monolithic cross-chip delivery: contended on-chip legs to and
+     * from the gateways around the shared link/hub reservations.
+     */
+    Tick
+    sendInterChip(CoreId src, CoreId dst, TrafficClass cls,
+                  std::uint32_t bytes, Message *pm, Handler *hp)
+    {
+        const std::uint32_t sc = mesh.chipOf(src);
+        const std::uint32_t dc = mesh.chipOf(dst);
+        const Tick sent = eq.now();
+        Tick t = mesh.reserveLeg(sent, src, mesh.gatewayOf(sc), bytes);
+        t = crossChipTransit(t, *pm, sc, dc, sent, bytes);
+        t = mesh.reserveLeg(t, mesh.gatewayOf(dc), dst, bytes);
+        t = mesh.finishDelivery(src, dst, t, bytes);
+        mesh.account(src, dst, cls, bytes);
+        eq.schedule(t, [this, hp, pm] {
+            (*hp)(*pm);
+            pool.release(pm);
+        });
+        return t;
+    }
+
+    /** Up-link -> home agent -> down-link, with occupancy. */
+    Tick
+    crossChipTransit(Tick t, const Message &msg, std::uint32_t sc,
+                     std::uint32_t dc, Tick send_tick,
+                     std::uint32_t bytes)
+    {
+        t = mesh.interChipLink(sc).reserveUp(t, bytes);
+        if (agent)
+            t = agent->service(t, msg, sc, dc, send_tick);
+        return mesh.interChipLink(dc).reserveDown(t, bytes);
     }
 
     static std::size_t
@@ -399,10 +466,15 @@ class MemNet
         }
     }
 
+    /** nearestMemCtrl bias keeping controllers chip-local; larger
+     *  than any possible hop count. */
+    static constexpr std::uint32_t crossChipPenalty = 1u << 20;
+
     EventQueue &eq;
     Mesh &mesh;
     std::uint32_t numCores;
     std::vector<CoreId> mcTiles;
+    HomeAgent *agent = nullptr;
     std::array<std::vector<Handler>, 6> handlers;
     std::vector<Handler> mcHandlers;
     MessagePool pool;

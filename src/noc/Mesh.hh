@@ -14,8 +14,10 @@
 #define SPMCOH_NOC_MESH_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "noc/InterChipLink.hh"
 #include "noc/Traffic.hh"
 #include "sim/EventQueue.hh"
 #include "sim/Logging.hh"
@@ -28,12 +30,18 @@ namespace spmcoh
 /** Mesh configuration. */
 struct MeshParams
 {
-    std::uint32_t width = 8;       ///< tiles per row
-    std::uint32_t height = 8;      ///< tiles per column
+    std::uint32_t width = 8;       ///< tiles per row (one chip)
+    std::uint32_t height = 8;      ///< tiles per column (one chip)
     Tick routerLatency = 1;        ///< cycles per router traversal
     Tick linkLatency = 1;          ///< cycles per link traversal
     std::uint32_t flitBytes = 16;  ///< link width
     bool modelContention = true;   ///< reserve link serialization slots
+    /** Number of chips: each is an independent width x height mesh;
+     *  chips are joined through inter-chip links (interChip). 1 is
+     *  the classic single-chip machine and changes nothing. */
+    std::uint32_t chips = 1;
+    /** Inter-chip link/hub timing (used only when chips > 1). */
+    InterChipParams interChip{};
 };
 
 /**
@@ -42,28 +50,93 @@ struct MeshParams
  * Tiles are numbered row-major: tile id = y * width + x. Every tile
  * hosts a core + L1s + SPM + DMAC + one L2/directory slice, so CoreId
  * doubles as the tile id.
+ *
+ * Multi-chip fabrics (chips > 1) stack the chips in tile-id space:
+ * chip c owns tiles [c * width * height, (c + 1) * width * height),
+ * each chip row-major on its own width x height mesh. Because the
+ * stacking is by whole rows, global coords() and the directional
+ * link table stay valid unchanged — routing simply never walks a
+ * mesh link across a chip boundary. Cross-chip packets instead leave
+ * through the source chip's gateway tile (local tile 0), cross its
+ * InterChipLink to the hub, and re-enter through the destination
+ * chip's gateway (see InterChipLink.hh for the path and its pricing;
+ * MemNet composes the crossing so the home agent can observe it).
  */
 class Mesh
 {
   public:
     Mesh(EventQueue &eq_, const MeshParams &p_)
         : eq(eq_), p(p_),
-          linkNextFree(static_cast<std::size_t>(p_.width) * p_.height * 4,
+          linkNextFree(static_cast<std::size_t>(p_.width) * p_.height *
+                           (p_.chips ? p_.chips : 1) * 4,
                        0),
           lastDelivery(static_cast<std::size_t>(p_.width) * p_.height *
-                           p_.width * p_.height,
+                           (p_.chips ? p_.chips : 1) * p_.width *
+                           p_.height * (p_.chips ? p_.chips : 1),
                        0)
     {
         if (p.width == 0 || p.height == 0)
             fatal("Mesh: zero dimension");
+        if (p.chips == 0)
+            fatal("Mesh: zero chip count");
+        if (p.chips > 1)
+            for (std::uint32_t c = 0; c < p.chips; ++c)
+                icLinks.push_back(std::make_unique<InterChipLink>(
+                    c, p.interChip));
     }
 
-    std::uint32_t numTiles() const { return p.width * p.height; }
+    std::uint32_t numTiles() const
+    { return p.width * p.height * p.chips; }
 
-    /** Manhattan hop count between two tiles. */
+    // ------------------------------------------------- chip geometry
+
+    std::uint32_t numChips() const { return p.chips; }
+    std::uint32_t tilesPerChip() const { return p.width * p.height; }
+
+    /** Chip owning a tile. */
+    std::uint32_t
+    chipOf(CoreId t) const
+    {
+        return p.chips == 1 ? 0 : t / tilesPerChip();
+    }
+
+    bool
+    sameChip(CoreId a, CoreId b) const
+    {
+        return p.chips == 1 || chipOf(a) == chipOf(b);
+    }
+
+    /** Gateway tile of a chip (its local tile 0). */
+    CoreId
+    gatewayOf(std::uint32_t chip) const
+    {
+        return static_cast<CoreId>(chip * tilesPerChip());
+    }
+
+    /** The chip's connection to the hub (chips > 1 only). */
+    InterChipLink &
+    interChipLink(std::uint32_t chip)
+    {
+        return *icLinks.at(chip);
+    }
+
+    const InterChipLink &
+    interChipLink(std::uint32_t chip) const
+    {
+        return *icLinks.at(chip);
+    }
+
+    /**
+     * Manhattan hop count between two tiles on one chip; a crossing
+     * counts both gateway legs plus one hop for the inter-chip link
+     * (traffic accounting prices the crossing's flit-hops with it).
+     */
     std::uint32_t
     hops(CoreId src, CoreId dst) const
     {
+        if (!sameChip(src, dst))
+            return hops(src, gatewayOf(chipOf(src))) + 1 +
+                   hops(gatewayOf(chipOf(dst)), dst);
         const auto [sx, sy] = coords(src);
         const auto [dx, dy] = coords(dst);
         return absDiff(sx, dx) + absDiff(sy, dy);
@@ -150,10 +223,32 @@ class Mesh
                                          ctrlPacketBytes);
     }
 
+    /**
+     * Hub transit of one crossing, contention-free: up-link wire plus
+     * serialization tail, hub service + pipeline, down-link wire plus
+     * tail. Static so topology derivation can price multi-chip
+     * barriers before any mesh is built.
+     */
+    static Tick
+    interChipTransitLatency(const MeshParams &mp, std::uint32_t bytes)
+    {
+        const Tick occ =
+            InterChipLink::serializationCycles(mp.interChip, bytes);
+        return 2 * (mp.interChip.linkLatency + (occ - 1)) +
+               mp.interChip.hubServiceCycles + mp.interChip.hubLatency;
+    }
+
     /** Contention-free latency of a unicast (for planning/oracles). */
     Tick
     routeLatency(CoreId src, CoreId dst, std::uint32_t bytes) const
     {
+        if (!sameChip(src, dst)) {
+            const Tick leg_a = contentionFreeLatency(
+                p, hops(src, gatewayOf(chipOf(src))), bytes);
+            const Tick leg_b = contentionFreeLatency(
+                p, hops(gatewayOf(chipOf(dst)), dst), bytes);
+            return leg_a + interChipTransitLatency(p, bytes) + leg_b;
+        }
         return contentionFreeLatency(p, hops(src, dst), bytes);
     }
 
@@ -215,6 +310,32 @@ class Mesh
         return t;
     }
 
+    /**
+     * Contended walk of one on-chip leg of a crossing (both tiles on
+     * one chip; typically one of them is a gateway). Pays the source
+     * router and the XY walk; the serialization tail and (src, dst)
+     * ordering belong to the crossing's end (finishDelivery), so a
+     * crossing pays the tail once, like an intra-chip packet. MemNet
+     * composes leg -> link -> hub -> link -> leg for each crossing.
+     */
+    Tick
+    reserveLeg(Tick now, CoreId src, CoreId dst, std::uint32_t bytes)
+    {
+        return reserveWalk(now + p.routerLatency, src, dst, bytes);
+    }
+
+    /**
+     * Complete a cross-chip delivery whose head arrives at @p t: add
+     * the serialization tail and apply point-to-point ordering on the
+     * global (src, dst) pair.
+     */
+    Tick
+    finishDelivery(CoreId src, CoreId dst, Tick t, std::uint32_t bytes)
+    {
+        t += flits(bytes) - 1;
+        return orderedDelivery(src, dst, t);
+    }
+
   private:
     static std::uint32_t
     absDiff(std::uint32_t a, std::uint32_t b)
@@ -250,16 +371,17 @@ class Mesh
     }
 
     /**
-     * Walk the XY path reserving link slots; returns delivery tick.
-     * Directions: 0=+x, 1=-x, 2=+y, 3=-y.
+     * Walk the XY path from @p t reserving link slots; returns the
+     * head-arrival tick (no serialization tail, no ordering).
+     * Directions: 0=+x, 1=-x, 2=+y, 3=-y. Both tiles must sit on one
+     * chip — the walk never crosses a chip boundary.
      */
     Tick
-    reserveFrom(Tick now, CoreId src, CoreId dst, std::uint32_t bytes)
+    reserveWalk(Tick t, CoreId src, CoreId dst, std::uint32_t bytes)
     {
         auto [x, y] = coords(src);
         const auto [dx, dy] = coords(dst);
         const std::uint32_t nf = flits(bytes);
-        Tick t = now + p.routerLatency;
 
         auto traverse = [&](std::uint32_t dir, std::uint32_t &c,
                             std::uint32_t target) {
@@ -285,25 +407,30 @@ class Mesh
         if (dy > y) traverse(2, y, dy);
         else if (dy < y) traverse(3, y, dy);
 
-        t += nf - 1;
+        return t;
+    }
+
+    /** Walk the XY path reserving link slots; returns delivery tick. */
+    Tick
+    reserveFrom(Tick now, CoreId src, CoreId dst, std::uint32_t bytes)
+    {
+        Tick t = reserveWalk(now + p.routerLatency, src, dst, bytes);
+        t += flits(bytes) - 1;
         // Point-to-point ordering: packets between one (src, dst)
         // pair share one deterministic route and deliver in send
         // order, whatever their sizes. Protocol correctness (e.g.
         // a control GetX must not overtake the preceding PutM data
         // packet) depends on this, as it does on real NoCs with
         // deterministic routing and ordered virtual channels.
-        Tick &last = lastDelivery[static_cast<std::size_t>(src) *
-                                      numTiles() + dst];
-        if (t <= last)
-            t = last + 1;
-        last = t;
-        return t;
+        return orderedDelivery(src, dst, t);
     }
 
     EventQueue &eq;
     MeshParams p;
     std::vector<Tick> linkNextFree;
     std::vector<Tick> lastDelivery;
+    /** One link per chip, chip-indexed (empty when chips == 1). */
+    std::vector<std::unique_ptr<InterChipLink>> icLinks;
     TrafficCounters counters;
     /** Per-region counter sets (empty = monolithic). */
     std::vector<TrafficCounters> regional;

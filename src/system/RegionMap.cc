@@ -19,19 +19,11 @@ absDiff(std::uint32_t a, std::uint32_t b)
     return a > b ? a - b : b - a;
 }
 
-} // namespace
-
+/** Single-chip cut derivation (the historical algorithm). */
 std::vector<std::uint32_t>
-evenRegionCuts(std::uint32_t width, std::uint32_t height,
-               std::uint32_t target_regions)
-{
-    return deriveRegionCuts(width, height, target_regions, {});
-}
-
-std::vector<std::uint32_t>
-deriveRegionCuts(std::uint32_t width, std::uint32_t height,
-                 std::uint32_t target_regions,
-                 const std::vector<std::uint32_t> &aligned_cores)
+chipRegionCuts(std::uint32_t width, std::uint32_t height,
+               std::uint32_t target_regions,
+               const std::vector<std::uint32_t> &aligned_cores)
 {
     const std::uint32_t rows = height;
     const std::uint32_t r_count = std::min(target_regions, rows);
@@ -71,6 +63,49 @@ deriveRegionCuts(std::uint32_t width, std::uint32_t height,
         }
         cuts.push_back(row * width);
         prev_row = row;
+    }
+    return cuts;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+evenRegionCuts(std::uint32_t width, std::uint32_t height,
+               std::uint32_t target_regions, std::uint32_t chips)
+{
+    return deriveRegionCuts(width, height, target_regions, {}, chips);
+}
+
+std::vector<std::uint32_t>
+deriveRegionCuts(std::uint32_t width, std::uint32_t height,
+                 std::uint32_t target_regions,
+                 const std::vector<std::uint32_t> &aligned_cores,
+                 std::uint32_t chips)
+{
+    if (chips <= 1)
+        return chipRegionCuts(width, height, target_regions,
+                              aligned_cores);
+
+    // Chip boundaries are mandatory cuts: a region spanning two
+    // chips would let a worker thread touch the inter-chip link
+    // state, which only the single-threaded epoch merge may do.
+    // The remaining budget splits evenly over the chips, each cut
+    // derived chip-locally against the chip's own candidates.
+    const std::uint32_t tiles_per_chip = width * height;
+    const std::uint32_t per_chip =
+        std::max<std::uint32_t>(1, target_regions / chips);
+    std::vector<std::uint32_t> cuts;
+    for (std::uint32_t c = 0; c < chips; ++c) {
+        const std::uint32_t base = c * tiles_per_chip;
+        if (c > 0)
+            cuts.push_back(base);
+        std::vector<std::uint32_t> local;
+        for (std::uint32_t a : aligned_cores)
+            if (a >= base && a < base + tiles_per_chip)
+                local.push_back(a - base);
+        for (std::uint32_t s :
+             chipRegionCuts(width, height, per_chip, local))
+            cuts.push_back(base + s);
     }
     return cuts;
 }

@@ -32,11 +32,14 @@ constexpr std::uint32_t defaultMaxRegions = 8;
 /**
  * Interior cut tile indices for up to @p target_regions even row
  * bands of a @p width x @p height mesh. Fewer than two feasible
- * bands yields an empty result (run monolithic).
+ * bands yields an empty result (run monolithic). On a multi-chip
+ * fabric (@p chips > 1, chips stacked in tile-id space) every chip
+ * boundary is a mandatory cut — a region may never straddle two
+ * chips — and the remaining budget splits evenly inside each chip.
  */
 std::vector<std::uint32_t>
 evenRegionCuts(std::uint32_t width, std::uint32_t height,
-               std::uint32_t target_regions);
+               std::uint32_t target_regions, std::uint32_t chips = 1);
 
 /**
  * Like evenRegionCuts, but each cut snaps to the nearest row
@@ -46,11 +49,16 @@ evenRegionCuts(std::uint32_t width, std::uint32_t height,
  * @p width; candidates that are not row-aligned are ignored. When
  * no candidate is usable for a cut, the even cut is kept. Cuts are
  * strictly increasing; ties in distance prefer the lower row.
+ * Chip boundaries (@p chips > 1) are always cut, whatever the
+ * target or candidate set — cross-chip traffic must flow through
+ * the epoch merge for the inter-chip link state to stay
+ * single-threaded.
  */
 std::vector<std::uint32_t>
 deriveRegionCuts(std::uint32_t width, std::uint32_t height,
                  std::uint32_t target_regions,
-                 const std::vector<std::uint32_t> &aligned_cores);
+                 const std::vector<std::uint32_t> &aligned_cores,
+                 std::uint32_t chips = 1);
 
 } // namespace spmcoh
 

@@ -19,7 +19,8 @@ System::System(const SystemParams &p_)
       amap(p_.numCores, p_.spmBytes)
 {
     const std::uint64_t tiles =
-        static_cast<std::uint64_t>(p.mesh.width) * p.mesh.height;
+        static_cast<std::uint64_t>(p.mesh.width) * p.mesh.height *
+        (p.mesh.chips ? p.mesh.chips : 1);
     if (p.numCores > tiles)
         fatal("System: " + std::to_string(p.numCores) +
               " cores exceed the " + std::to_string(p.mesh.width) +
@@ -59,13 +60,26 @@ System::System(const SystemParams &p_)
         std::vector<std::uint32_t> cuts = p.regionCuts;
         if (cuts.empty())
             cuts = evenRegionCuts(p.mesh.width, p.mesh.height,
-                                  defaultMaxRegions);
+                                  defaultMaxRegions, p.mesh.chips);
         std::uint32_t prev = 0;
         for (std::uint32_t c : cuts) {
             if (c % p.mesh.width != 0 || c <= prev || c >= tiles)
                 fatal("System: region cut " + std::to_string(c) +
                       " is not an increasing interior row boundary");
             prev = c;
+        }
+        // Multi-chip fabrics require every chip boundary cut: a
+        // region spanning chips would let a worker thread touch the
+        // inter-chip link/hub state that only the single-threaded
+        // epoch merge may mutate.
+        for (std::uint32_t c = 1; c < p.mesh.chips; ++c) {
+            const std::uint32_t boundary =
+                c * p.mesh.width * p.mesh.height;
+            if (std::find(cuts.begin(), cuts.end(), boundary) ==
+                cuts.end())
+                fatal("System: partitioned multi-chip run is missing "
+                      "the region cut at chip boundary tile " +
+                      std::to_string(boundary));
         }
         if (!cuts.empty()) {
             std::uint32_t lo = 0, idx = 0;
@@ -92,12 +106,28 @@ System::System(const SystemParams &p_)
     const CoherenceProtocol &proto =
         ProtocolFactory::global().get(p.protocol);
 
+    if (p.mesh.chips > 1) {
+        hagent = std::make_unique<HomeAgent>(p.mesh.interChip,
+                                             p.mesh.chips, proto);
+        net->setHomeAgent(hagent.get());
+        if (p.farMemLatency > 0) {
+            PooledMemoryParams fp;
+            fp.accessLatency = p.farMemLatency;
+            fp.bytesPerCycle = p.farMemBytesPerCycle;
+            fp.chips = p.mesh.chips;
+            farMem = std::make_unique<PooledMemory>(fp);
+        }
+    } else if (p.farMemLatency > 0) {
+        fatal("System: the pooled far-memory tier needs a multi-chip "
+              "fabric (chips > 1)");
+    }
+
     for (std::uint32_t i = 0; i < p.mcTiles.size(); ++i) {
         // A controller's eq reference must be the queue its events
         // execute on — its tile's region queue when partitioned.
         mcs.push_back(std::make_unique<MemCtrl>(
             net->queueFor(p.mcTiles[i]), *net, mem, i, p.mcTiles[i],
-            p.mc));
+            p.mc, farMem.get(), noc.chipOf(p.mcTiles[i])));
         MemCtrl *mc = mcs.back().get();
         net->setHandler(Endpoint::MemCtrl, i,
                         [mc](const Message &m) { mc->handle(m); });
@@ -207,19 +237,31 @@ System::barrierFor(const MicroOp &op)
     const auto hi = static_cast<std::uint32_t>(op.addr >> 32);
     Tick lat = p.barrierLatency;
     if (op.tag != 0 && !(lo == 0 && hi + 1 >= p.numCores)) {
-        // Subgroup barrier: release round trip across the span's
-        // mesh bounding box (tiles are laid out row-major, so a
-        // contiguous core range spanning several rows covers the
-        // full width).
         const std::uint32_t w = p.mesh.width;
-        const std::uint32_t ylo = lo / w, yhi = hi / w;
-        std::uint32_t xlo = 0, xhi = w ? w - 1 : 0;
-        if (ylo == yhi) {
-            xlo = lo % w;
-            xhi = hi % w;
+        const std::uint32_t per_chip = w * p.mesh.height;
+        if (p.mesh.chips > 1 && lo / per_chip != hi / per_chip) {
+            // Subgroup spanning chips: the release round trip covers
+            // a full chip diameter plus the hub crossing, matching
+            // the full-machine derivation in Topology::forSystem.
+            const std::uint32_t diam = (w - 1) + (p.mesh.height - 1);
+            lat = Mesh::barrierReleaseLatency(p.mesh, diam) +
+                  2 * Mesh::interChipTransitLatency(p.mesh,
+                                                    ctrlPacketBytes);
+        } else {
+            // Subgroup barrier: release round trip across the span's
+            // mesh bounding box (tiles are laid out row-major, so a
+            // contiguous core range spanning several rows covers the
+            // full width). Rows are chip-local here, so the global
+            // row delta equals the on-chip delta.
+            const std::uint32_t ylo = lo / w, yhi = hi / w;
+            std::uint32_t xlo = 0, xhi = w ? w - 1 : 0;
+            if (ylo == yhi) {
+                xlo = lo % w;
+                xhi = hi % w;
+            }
+            const std::uint32_t diam = (xhi - xlo) + (yhi - ylo);
+            lat = Mesh::barrierReleaseLatency(p.mesh, diam);
         }
-        const std::uint32_t diam = (xhi - xlo) + (yhi - ylo);
-        lat = Mesh::barrierReleaseLatency(p.mesh, diam);
     }
     it = barriers
              .emplace(op.count,
@@ -384,6 +426,13 @@ System::visitStats(StatVisitor &v) const
     }
     for (const auto &mc : mcs)
         mc->statGroup().accept(v);
+    if (hagent)
+        hagent->statGroup().accept(v);
+    if (p.mesh.chips > 1)
+        for (std::uint32_t c = 0; c < p.mesh.chips; ++c)
+            noc.interChipLink(c).statGroup().accept(v);
+    if (farMem)
+        farMem->statGroup().accept(v);
 }
 
 RunResults

@@ -78,6 +78,16 @@ struct SystemParams
      * point). Default off so existing goldens are untouched.
      */
     bool scaleMcBandwidth = false;
+    /**
+     * Pooled far-memory tier (multi-chip fabrics only): when > 0,
+     * lines whose static backing chip differs from the serving
+     * controller's chip pay this pool access latency (plus the
+     * pool's shared bandwidth queue, farMemBytesPerCycle) instead
+     * of local DRAM timing. 0 disables the tier: every controller
+     * serves all lines from its local DRAM.
+     */
+    Tick farMemLatency = 0;
+    std::uint32_t farMemBytesPerCycle = 8;
     /** Deadlock guard for event-loop runs. */
     Tick maxTicks = std::uint64_t(4) << 32;
     EnergyParams energy{};
@@ -126,14 +136,16 @@ struct SystemParams
      * L1D (32KB L1D + 32KB SPM equivalent) at unchanged latency.
      */
     static SystemParams
-    forMode(SystemMode m, std::uint32_t cores = 64)
+    forMode(SystemMode m, std::uint32_t cores = 64,
+            std::uint32_t chips = 1)
     {
         SystemParams p;
         p.mode = m;
         p.numCores = cores;
-        const Topology t = Topology::forCores(cores, p.mesh);
+        const Topology t = Topology::forSystem(cores, chips, p.mesh);
         p.mesh.width = t.width;
         p.mesh.height = t.height;
+        p.mesh.chips = t.chips;
         p.mcTiles = t.mcTiles;
         p.barrierLatency = t.barrierLatency;
         if (m == SystemMode::CacheOnly) {
@@ -234,6 +246,9 @@ class System
     MainMemory mem;
     CohFabric fabric;
     std::unique_ptr<MemNet> net;
+    /** Hub home agent + far-memory pool (multi-chip fabrics only). */
+    std::unique_ptr<HomeAgent> hagent;
+    std::unique_ptr<PooledMemory> farMem;
     /** Row-band partitions (empty = monolithic run loop). */
     std::vector<std::unique_ptr<Region>> regions;
     std::uint32_t effThreads = 0;

@@ -109,23 +109,67 @@ Topology::memCtrlTiles(std::uint32_t width, std::uint32_t height,
     return tiles;
 }
 
+std::optional<std::string>
+Topology::checkSystem(std::uint32_t cores, std::uint32_t chips)
+{
+    if (chips == 0)
+        return "chip count must be at least 1";
+    if (chips > maxChips)
+        return "chip count " + std::to_string(chips) +
+               " exceeds the " + std::to_string(maxChips) +
+               "-chip model limit";
+    if (cores % chips != 0)
+        return std::to_string(cores) + " cores do not distribute "
+               "evenly over " + std::to_string(chips) + " chips";
+    if (const auto err = checkCores(cores / chips)) {
+        if (chips == 1)
+            return err;
+        return "per-chip core count " + std::to_string(cores / chips) +
+               " (" + std::to_string(cores) + " cores / " +
+               std::to_string(chips) + " chips): " + *err;
+    }
+    return std::nullopt;
+}
+
 Topology
 Topology::forCores(std::uint32_t cores, const MeshParams &mesh)
 {
-    if (const auto err = checkCores(cores))
+    return forSystem(cores, 1, mesh);
+}
+
+Topology
+Topology::forSystem(std::uint32_t cores, std::uint32_t chips,
+                    const MeshParams &mesh)
+{
+    if (const auto err = checkSystem(cores, chips))
         fatal("Topology: " + *err);
-    const auto dims = *meshDims(cores);
+    const std::uint32_t per_chip = cores / chips;
+    const auto dims = *meshDims(per_chip);
 
     Topology t;
     t.width = dims.first;
     t.height = dims.second;
-    t.mcTiles = memCtrlTiles(t.width, t.height, memCtrlCount(cores));
+    t.chips = chips;
 
-    // Barrier release: a control-packet round trip across the mesh
+    // Every chip keeps its local corner/edge controller population
+    // (replicated with the chip's tile offset), so on-chip memory
+    // distances match the single-chip machine exactly.
+    const std::vector<CoreId> local =
+        memCtrlTiles(t.width, t.height, memCtrlCount(per_chip));
+    for (std::uint32_t c = 0; c < chips; ++c)
+        for (const CoreId mc : local)
+            t.mcTiles.push_back(
+                static_cast<CoreId>(c * t.width * t.height + mc));
+
+    // Barrier release: a control-packet round trip across the chip
     // diameter (cost model shared with the group-scoped barriers in
-    // System::barrierFor).
+    // System::barrierFor); a fabric spanning chips adds the hub
+    // round trip on top.
     const std::uint32_t diameter = (t.width - 1) + (t.height - 1);
     t.barrierLatency = Mesh::barrierReleaseLatency(mesh, diameter);
+    if (chips > 1)
+        t.barrierLatency +=
+            2 * Mesh::interChipTransitLatency(mesh, ctrlPacketBytes);
     return t;
 }
 

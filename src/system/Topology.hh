@@ -47,13 +47,17 @@ struct Topology
 {
     std::uint32_t width = 0;       ///< mesh tiles per row (>= height)
     std::uint32_t height = 0;      ///< mesh tiles per column
+    std::uint32_t chips = 1;       ///< chips (each a width x height mesh)
     std::vector<CoreId> mcTiles;   ///< corner/edge memory controllers
     Tick barrierLatency = 0;       ///< derived release latency
 
-    std::uint32_t tiles() const { return width * height; }
+    std::uint32_t tiles() const { return width * height * chips; }
 
     /** Largest supported core count (a 64x64 mesh). */
     static constexpr std::uint32_t maxCores = 4096;
+
+    /** Largest supported chip count per fabric. */
+    static constexpr std::uint32_t maxChips = 16;
 
     /**
      * Widest mesh accepted relative to its height. The most-square
@@ -74,10 +78,29 @@ struct Topology
                              const MeshParams &mesh = MeshParams{});
 
     /**
+     * Derive a multi-chip fabric: @p cores distributed evenly over
+     * @p chips chips, each an independent most-square mesh, joined
+     * by the inter-chip links described in @p mesh.interChip. Memory
+     * controllers are placed per chip (every chip keeps its local
+     * corner/edge population); the barrier latency adds one
+     * hub round trip when the fabric spans chips.
+     * forSystem(cores, 1, mesh) == forCores(cores, mesh) exactly.
+     */
+    static Topology forSystem(std::uint32_t cores, std::uint32_t chips,
+                              const MeshParams &mesh = MeshParams{});
+
+    /**
      * Why @p cores cannot be tiled, as a human-readable message;
      * nullopt when forCores() would succeed.
      */
     static std::optional<std::string> checkCores(std::uint32_t cores);
+
+    /**
+     * Why (@p cores, @p chips) cannot form a fabric; nullopt when
+     * forSystem() would succeed.
+     */
+    static std::optional<std::string>
+    checkSystem(std::uint32_t cores, std::uint32_t chips);
 
     /**
      * Most-square factorization width x height == cores with

@@ -182,6 +182,58 @@ buildPipeline(std::uint32_t cores, double scale,
 }
 
 ProgramDecl
+buildXPipeline(std::uint32_t cores, double scale,
+               const WorkloadParams &p)
+{
+    ProgramBuilder b("xpipeline", cores, 0xA3);
+    // The pipeline's handoff made bidirectional: the first half
+    // produces `fwd` and hands it to the second half, which chases
+    // through it while producing `bwd` for the reflect stage back on
+    // the first half. On a 2-chip run with stacked per-chip core
+    // ranges the half split IS the chip split, so both handoffs are
+    // pure cross-chip traffic: every diverted guarded read is a
+    // remote-SPM serve escalated through the home agent.
+    const std::uint32_t half = cores / 2;
+    const std::uint64_t section =
+        spmSectionBytes(2, kb(p, "sectionKB"), scale);
+    const std::uint32_t src = b.privateArray("src", section);
+    const std::uint32_t fwd = b.privateArray("fwd", section);
+    const std::uint32_t bwd = b.privateArray("bwd", section);
+    const std::uint32_t out = b.privateArray("out", section);
+
+    KernelBuilder produce =
+        b.kernel("produce", std::uint64_t(half) * (section / 8), 10,
+                 1024)
+            .onCores(0, half)
+            .strided(src)
+            .strided(fwd, true)
+            .produces(fwd);
+    KernelBuilder transform =
+        b.kernel("transform", std::uint64_t(half) * (section / 8),
+                 12, 1280)
+            .onCores(half, half)
+            .strided(bwd, true)
+            .pointerChase(fwd, false, p.get("hotFrac"),
+                          kb(p, "hotKB"),
+                          static_cast<std::uint32_t>(
+                              p.getUInt("chases")))
+            .after(produce.id())
+            .consumes(fwd)
+            .produces(bwd);
+    b.kernel("reflect", std::uint64_t(half) * (section / 8), 10,
+             1024)
+        .onCores(0, half)
+        .strided(out, true)
+        .pointerChase(bwd, false, p.get("hotFrac"), kb(p, "hotKB"),
+                      static_cast<std::uint32_t>(
+                          p.getUInt("chases")))
+        .after(transform.id())
+        .consumes(bwd);
+    b.timesteps(2);
+    return b.build();
+}
+
+ProgramDecl
 buildContend(std::uint32_t cores, double scale,
              const WorkloadParams &p)
 {
@@ -361,6 +413,27 @@ registerKernelWorkloads(WorkloadRegistry &reg)
                        "iteration", 2, 1, 8),
         };
         s.factory = buildPipeline;
+        reg.add(std::move(s));
+    }
+    {
+        WorkloadSpec s;
+        s.name = "xpipeline";
+        s.description =
+            "bidirectional producer/consumer handoff across the "
+            "core halves; with --chips=2 every handoff crosses the "
+            "inter-chip fabric (needs >= 2 cores)";
+        s.params = {
+            uint_param("sectionKB",
+                       "per-producer handoff section, KB", 8, 1, 64),
+            real_param("hotFrac",
+                       "fraction of guarded reads in the hot "
+                       "window", 0.75, 0, 1),
+            uint_param("hotKB", "consumer hot-window size, KB",
+                       16, 1, 1024),
+            uint_param("chases", "guarded reads per consumer "
+                       "iteration", 2, 1, 8),
+        };
+        s.factory = buildXPipeline;
         reg.add(std::move(s));
     }
     {

@@ -21,6 +21,11 @@
  *  - pipeline:  producer/consumer kernel chain on disjoint core
  *               groups handing an SPM-mapped array through the
  *               coherence protocol (Fig. 5d remote-SPM serves)
+ *  - xpipeline: the pipeline's handoff made bidirectional (produce
+ *               -> transform -> reflect); with --chips=2 the group
+ *               split lands exactly on the chip boundary, so every
+ *               handoff crosses the inter-chip fabric through the
+ *               home agent
  *  - contend:   write-heavy all-cores contention on a small shared
  *               hot set through guarded read-modify-writes
  *  - graphwalk: irregular neighbor-gather over a shared adjacency
@@ -66,6 +71,17 @@ ProgramDecl buildTranspose(std::uint32_t cores, double scale,
  */
 ProgramDecl buildPipeline(std::uint32_t cores, double scale,
                           const WorkloadParams &p);
+
+/**
+ * Bidirectional pipeline (sectionKB, hotFrac, hotKB, chases): the
+ * first core half produces a buffer the second half transforms and
+ * reflects back through a second handoff, so remote-SPM serves flow
+ * in both directions. The halves align with the chip split of an
+ * even multi-chip run (stacked per-chip core ranges), making every
+ * handoff a cross-chip transaction. Needs at least 2 cores.
+ */
+ProgramDecl buildXPipeline(std::uint32_t cores, double scale,
+                           const WorkloadParams &p);
 
 /** Write-heavy all-cores contention (sectionKB, hotKB, hotFrac,
  *  writes). */
