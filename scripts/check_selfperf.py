@@ -18,10 +18,13 @@ Improvements never fail.
 The baseline may be either a single capture (an object with an
 ``experiments`` array) or a trajectory (an object whose ``entries``
 array holds dated captures). Captures are stamped with their
-experiment shape (``cores``, ``simThreads``); within a trajectory the
-reference is the LAST entry whose shape matches the candidate's, so a
-partitioned (simThreads > 0) capture gates against partitioned
-history, never against the monolithic event loop's numbers. When no
+experiment shape (``cores``, ``simThreads``) and, since the PR 10
+captures, the machine shape (``hostThreads``): within a trajectory
+the reference is the LAST entry whose shape matches the candidate's,
+so a partitioned (simThreads > 0) capture gates against partitioned
+history — never against the monolithic event loop's numbers — and a
+run on a wide host never gates against a single-core box's wall
+clock (the PR 8 entries carried that caveat only in prose). When no
 entry matches the candidate's shape the last entry is used.
 
 ``--parallel`` compares two fresh captures of the same experiments —
@@ -54,8 +57,14 @@ def load(path):
 
 
 def shape_of(capture):
-    """(cores, simThreads) stamp of a capture; None = unstamped."""
-    return (capture.get("cores"), capture.get("simThreads"))
+    """(cores, simThreads, hostThreads) stamp of a capture.
+
+    None components mean the capture predates that stamp (cores and
+    simThreads arrived with PR 8, hostThreads with PR 10) and act as
+    wildcards during matching.
+    """
+    return (capture.get("cores"), capture.get("simThreads"),
+            capture.get("hostThreads"))
 
 
 def pick_entry(doc, path, want_shape=None):
@@ -74,14 +83,14 @@ def pick_entry(doc, path, want_shape=None):
         if want_shape is not None:
             def axis_ok(entry_v, want_v):
                 # Unstamped values (old captures, e.g. pre-simThreads
-                # entries) act as wildcards on either side.
+                # or pre-hostThreads entries) act as wildcards on
+                # either side.
                 return (entry_v is None or want_v is None
                         or entry_v == want_v)
 
             for e in reversed(entries):
-                cores, threads = shape_of(e)
-                if (axis_ok(cores, want_shape[0])
-                        and axis_ok(threads, want_shape[1])):
+                if all(axis_ok(have, want) for have, want
+                       in zip(shape_of(e), want_shape)):
                     doc = e
                     break
     if "experiments" not in doc:

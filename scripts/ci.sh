@@ -139,21 +139,26 @@ for run in 1b 4a 4b; do
         exit 1; }
 done
 
-echo "== determinism stress (sim-threads=1 vs 4, partitioned core) =="
+echo "== determinism stress (sim-threads=1 vs 8, partitioned core) =="
 # The partitioned core must be byte-identical at every worker-thread
 # count: the region structure is derived from the topology and phase
 # graph alone, so thread scheduling can never leak into results.
+# The --chips=1,2 axis puts mandatory chip-boundary cuts under the
+# same gate, and --sim-window=auto exercises the adaptive epoch
+# window (its width sequence derives from simulation state only —
+# the 16-region cap and region skipping ride along at 8 threads).
 # (sim-threads >= 1 uses the windowed cross-region timing model and
 # is intentionally NOT compared against the monolithic goldens.)
-for st in 1 4; do
+for st in 1 8; do
     "$BUILD_DIR"/spmcoh_run --workload=gather,contend \
         --protocol=spm-hybrid,mesi --scale=1.0,1.25 --cores=8 \
-        --jobs=2 --sim-threads="$st" --format=json --no-stats \
+        --chips=1,2 --jobs=2 --sim-threads="$st" \
+        --sim-window=auto --format=json --no-stats \
         > "$BUILD_DIR"/determinism_st"$st".json
 done
 cmp "$BUILD_DIR"/determinism_st1.json \
-    "$BUILD_DIR"/determinism_st4.json || {
-    echo "determinism stress: sim-threads=4 diverged from =1"
+    "$BUILD_DIR"/determinism_st8.json || {
+    echo "determinism stress: sim-threads=8 diverged from =1"
     exit 1; }
 
 echo "== selfperf regression gate (loose tolerance) =="
@@ -168,9 +173,11 @@ echo "== partitioned selfperf gate (parallel not slower) =="
 # partitioned machinery's cost from host-dependent thread scaling —
 # runner core counts vary, and a single-core runner can only lose
 # from extra threads. Thread scaling itself is tracked by the
-# recorded BENCH_selfperf.json entries, not hard-gated here.
+# recorded BENCH_selfperf.json entries, not hard-gated here. The
+# adaptive window is the recommended partitioned configuration, so
+# the gate runs it (sharded delivery + window adaptation included).
 "$BUILD_DIR"/bench_selfperf --reps=3 --sim-threads=1 \
-    --out="$BUILD_DIR"/selfperf_par.json
+    --sim-window=auto --out="$BUILD_DIR"/selfperf_par.json
 python3 scripts/check_selfperf.py --parallel --tolerance=1.5 \
     "$BUILD_DIR"/selfperf.json "$BUILD_DIR"/selfperf_par.json
 
@@ -180,10 +187,28 @@ echo "== large-mesh smoke test (256 cores, 16x16) =="
 grep -q '"cores":256' "$BUILD_DIR"/smoke256.json
 grep -q '"meshWidth":16' "$BUILD_DIR"/smoke256.json
 
+echo "== 16-region determinism (256 cores, sim-threads=1 vs 8) =="
+# A 16x16 mesh is the smallest machine that actually reaches the
+# raised defaultMaxRegions=16 cap (one cut every row); the 2-chip
+# point splits the same budget over two 16x8 chips with a mandatory
+# chip-boundary cut. Both must be byte-identical at 1 vs 8 worker
+# threads under the adaptive window.
+for st in 1 8; do
+    "$BUILD_DIR"/spmcoh_run --workload=CG --cores=256 --chips=1,2 \
+        --sim-threads="$st" --sim-window=auto --format=json \
+        --no-stats > "$BUILD_DIR"/determinism256_st"$st".json
+done
+cmp "$BUILD_DIR"/determinism256_st1.json \
+    "$BUILD_DIR"/determinism256_st8.json || {
+    echo "16-region determinism: sim-threads=8 diverged from =1"
+    exit 1; }
+
 echo "== ThreadSanitizer build + partitioned-core tests =="
 # TSan watches the epoch workers race-free end to end: the region
-# test suite plus a partitioned CLI run. Scoped to the partitioned
-# core rather than the full suite to keep CI wall-clock bounded.
+# test suite plus partitioned CLI runs covering the sharded-delivery
+# merge — concurrent per-region inbox drains under the adaptive
+# window, single- and multi-chip. Scoped to the partitioned core
+# rather than the full suite to keep CI wall-clock bounded.
 TSAN_DIR="$BUILD_DIR-tsan"
 cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -193,4 +218,7 @@ cmake --build "$TSAN_DIR" -j "$(nproc)" \
 "$TSAN_DIR"/test_regions
 "$TSAN_DIR"/spmcoh_run --workload=contend --cores=8 \
     --sim-threads=4 --format=json --no-stats > /dev/null
+"$TSAN_DIR"/spmcoh_run --workload=gather --cores=8 --chips=2 \
+    --sim-threads=8 --sim-window=auto --format=json --no-stats \
+    > /dev/null
 echo "ok"

@@ -105,6 +105,15 @@ cliUsage(const std::string &prog)
         "                    event loop). Results are byte-identical\n"
         "                    for every N >= 1. Composes with --jobs:\n"
         "                    total threads ~ jobs x sim-threads\n"
+        "  --sim-window=W    epoch window for the partitioned core:\n"
+        "                    a fixed tick count, or 'auto' for the\n"
+        "                    adaptive window (starts at the model\n"
+        "                    default, doubles over quiet epochs up\n"
+        "                    to 128 ticks, snaps back on the first\n"
+        "                    cross-region deferral). Needs\n"
+        "                    --sim-threads >= 1; the window sequence\n"
+        "                    is a pure function of simulation state,\n"
+        "                    so any thread count stays byte-identical\n"
         "  --format=F        table | csv | json (default: table)\n"
         "  --out=FILE        write results to FILE instead of stdout\n"
         "  --title=STR       report title (default: generated)\n"
@@ -168,6 +177,9 @@ parseCli(const std::vector<std::string> &args,
     std::vector<std::pair<std::string, std::vector<double>>>
         wparamAxes;
     bool sawWorkload = false;
+    bool sawSimWindow = false;
+    /** --sim-window=auto ceiling (ISSUE 10: bounded, 128 ticks). */
+    constexpr Tick autoSimWindowMax = 128;
 
     opt.sweep.modes.clear();
     opt.sweep.coreCounts.clear();
@@ -352,6 +364,26 @@ parseCli(const std::vector<std::string> &args,
                     opt.sweep.simThreads =
                         static_cast<std::uint32_t>(*n);
             }
+        } else if ((v = flagValue(arg, "--sim-window"))) {
+            if (*v == "auto") {
+                // Adaptive: base width stays at the model default;
+                // quiet epochs double it up to the ceiling.
+                opt.sweep.simWindow = 0;
+                opt.sweep.simWindowMax = autoSimWindowMax;
+                sawSimWindow = true;
+            } else {
+                const auto n = parseUint(*v);
+                if (!n || *n == 0)
+                    errs.push_back(
+                        "bad sim-window width '" + *v +
+                        "' (expected a positive tick count or "
+                        "'auto')");
+                else {
+                    opt.sweep.simWindow = static_cast<Tick>(*n);
+                    opt.sweep.simWindowMax = 0;
+                    sawSimWindow = true;
+                }
+            }
         } else if ((v = flagValue(arg, "--format"))) {
             const auto f = resultFormatFromName(*v);
             if (!f)
@@ -379,6 +411,10 @@ parseCli(const std::vector<std::string> &args,
                        "--workload=all)");
     else if (opt.sweep.workloads.empty())
         errs.push_back("--workload lists no workloads");
+
+    if (sawSimWindow && opt.sweep.simThreads == 0)
+        errs.push_back("--sim-window configures the partitioned "
+                       "core; add --sim-threads=N (N >= 1)");
 
     if (opt.sweep.farMemLat > 0) {
         // expand() drops the far tier from single-chip points, so a

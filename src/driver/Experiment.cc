@@ -207,6 +207,16 @@ validateExperiment(const ExperimentSpec &spec,
                        "multi-chip fabric (chips >= 2)");
     if (!(spec.scale > 0.0) || !std::isfinite(spec.scale))
         errs.push_back("workload scale must be positive and finite");
+    if ((spec.simWindow > 0 || spec.simWindowMax > 0) &&
+        spec.simThreads == 0)
+        errs.push_back("simWindow configures the partitioned core; "
+                       "it needs simThreads >= 1");
+    if (spec.simWindowMax > 0 && spec.simWindow > 0 &&
+        spec.simWindowMax < spec.simWindow)
+        errs.push_back("adaptive window ceiling (" +
+                       std::to_string(spec.simWindowMax) +
+                       ") is below the base width (" +
+                       std::to_string(spec.simWindow) + ")");
 
     if (spec.paramsOverride) {
         // An override carries its own topology; it must have been
@@ -290,6 +300,10 @@ runExperiment(const ExperimentSpec &spec, const WorkloadRegistry &reg,
             defaultMaxRegions,
             prepared->schedule.regionCutCandidates(),
             out.params.mesh.chips);
+        if (spec.simWindow > 0)
+            out.params.simWindowTicks = spec.simWindow;
+        if (spec.simWindowMax > 0)
+            out.params.simWindowMaxTicks = spec.simWindowMax;
     }
 
     System sys(out.params);

@@ -106,6 +106,19 @@ struct ExperimentSpec
      */
     std::uint32_t simThreads = 0;
     /**
+     * Epoch window width for partitioned runs (simThreads >= 1):
+     * SystemParams::simWindowTicks, and — when simWindowMax is also
+     * set — the adaptive ceiling simWindowMaxTicks. 0 keeps the
+     * model defaults. Like simThreads these are execution knobs,
+     * excluded from label() and serialization: the window sequence
+     * is a pure function of simulation state, so for a *given*
+     * window configuration every thread count produces identical
+     * output (different window widths are different timing models,
+     * though — callers comparing runs must hold the window fixed).
+     */
+    Tick simWindow = 0;
+    Tick simWindowMax = 0;
+    /**
      * Replaces the derived defaults when set. The mode is always
      * taken from the spec field above; the override must have been
      * built for exactly `cores` cores (its mesh and memory
@@ -256,6 +269,16 @@ class ExperimentBuilder
     simThreads(std::uint32_t n)
     {
         s.simThreads = n;
+        return *this;
+    }
+
+    /** Epoch window width (and adaptive ceiling) for partitioned
+     *  runs; 0 keeps the model defaults. */
+    ExperimentBuilder &
+    simWindow(Tick base, Tick max = 0)
+    {
+        s.simWindow = base;
+        s.simWindowMax = max;
         return *this;
     }
 

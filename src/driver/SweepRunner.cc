@@ -86,6 +86,8 @@ SweepRunner::expand(const SweepSpec &sweep) const
                         e.wparams = wp;
                         e.variant = v.name;
                         e.simThreads = sweep.simThreads;
+                        e.simWindow = sweep.simWindow;
+                        e.simWindowMax = sweep.simWindowMax;
                         // Validate before resolving: the tweak
                         // needs resolvedParams, which derives a
                         // topology only defined for tileable core

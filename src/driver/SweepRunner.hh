@@ -60,6 +60,14 @@ struct SweepSpec
      */
     std::uint32_t simThreads = 0;
     /**
+     * Epoch window width / adaptive ceiling for partitioned runs,
+     * stamped onto every expanded spec (ExperimentSpec::simWindow /
+     * simWindowMax); 0 keeps the model defaults. Not an axis, same
+     * rationale as simThreads.
+     */
+    Tick simWindow = 0;
+    Tick simWindowMax = 0;
+    /**
      * Pooled far-memory tier, stamped onto every expanded spec
      * (ExperimentSpec::farMemLat/farMemBw); meaningful only with a
      * chips >= 2 point on the chip axis. Not an axis itself.

@@ -16,16 +16,25 @@
  * region packets (and cross-region protocol operations registered via
  * deferCross) are buffered in per-region outboxes during an epoch
  * window and merged at the epoch barrier in canonical
- * (tick, src-region, seq) order — single-threaded, so the outcome is
- * byte-identical at any worker thread count.
+ * (tick, src-region, seq) order.
+ *
+ * The merge itself is sharded: the single-threaded canonical pass
+ * only fixes each delivery's arrival tick (route pricing, per-pair
+ * FIFO, link/hub reservations — everything that reads shared state);
+ * the priced deliveries land in per-destination-region inboxes, and
+ * each region schedules its own inbox onto its queue at the start of
+ * the next window (drainInbox), in parallel with every other region.
+ * Inbox order is the canonical merge order, so the destination
+ * queue's FIFO tie-break is byte-identical at any worker thread
+ * count.
  */
 
 #ifndef SPMCOH_MEM_MEMNET_HH
 #define SPMCOH_MEM_MEMNET_HH
 
+#include <algorithm>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -193,6 +202,9 @@ class MemNet
         outboxes.clear();
         outboxes.resize(r_count);
         seqCounters.assign(r_count, 0);
+        inboxes.clear();
+        inboxes.resize(r_count);
+        inboxMin.assign(r_count, maxTick);
         mesh.setNumRegions(r_count);
     }
 
@@ -240,10 +252,10 @@ class MemNet
             // still runs in this epoch. Sentinel src-region numRegions
             // orders merge-spawned entries after same-tick window
             // entries.
-            crossQueue.push(CrossEntry{when, numRegions(), mergeSeq++,
-                                       true, std::move(fn), nullptr,
-                                       0, 0, TrafficClass::CohProt, 0,
-                                       Message{}});
+            heapPush(CrossEntry{when, numRegions(), mergeSeq++,
+                                true, std::move(fn), nullptr,
+                                0, 0, TrafficClass::CohProt, 0,
+                                Message{}});
             return;
         }
         const std::uint32_t r = tlsExecRegion;
@@ -262,18 +274,69 @@ class MemNet
     Tick
     crossPendingTick() const
     {
-        return crossQueue.empty() ? maxTick : crossQueue.top().tick;
+        return crossHeap.empty() ? maxTick : crossHeap.front().tick;
+    }
+
+    /**
+     * Earliest undrained inbox delivery for region @p r, or maxTick.
+     * Valid between epochs; the run loop folds it into the horizon
+     * and skips regions whose inbox and queue are both beyond it.
+     */
+    Tick inboxTick(std::uint32_t r) const { return inboxMin[r]; }
+
+    /** Earliest undrained inbox delivery anywhere, or maxTick. */
+    Tick
+    inboxPendingTick() const
+    {
+        Tick t = maxTick;
+        for (Tick m : inboxMin)
+            t = std::min(t, m);
+        return t;
+    }
+
+    /**
+     * Schedule region @p r's pending merged deliveries onto its
+     * queue, in the canonical order the merge priced them. Called by
+     * the worker driving @p r at the start of a window — this is the
+     * sharded half of the epoch merge, safe to run concurrently with
+     * other regions' drains because it touches only @p r's inbox and
+     * queue (the epoch barrier orders it against the merge itself).
+     */
+    void
+    drainInbox(std::uint32_t r)
+    {
+        auto &box = inboxes[r];
+        if (box.empty())
+            return;
+        EventQueue &q = regions[r]->eq;
+        for (const PendingDelivery &d : box) {
+            Handler *hp = d.hp;
+            Message *pm = d.pm;
+            q.schedule(d.when, [this, hp, pm] {
+                (*hp)(*pm);
+                msgPool().release(pm);
+            });
+        }
+        box.clear();
+        inboxMin[r] = maxTick;
     }
 
     /**
      * Epoch barrier: fold the window's outboxes into the canonical
      * (tick, src-region, seq) heap and run every entry due at or
-     * before @p horizon. Single-threaded; all region queues sit at
-     * @p horizon. Messages deliver into their destination region's
-     * queue no earlier than the horizon; operations run inline (they
-     * may send, which delivers directly, or defer again).
+     * before @p horizon. Single-threaded; every region queue —
+     * including skipped ones, whose clocks the run loop advances —
+     * sits exactly at @p horizon, which merge-time operations and
+     * barrier releases rely on when scheduling relative to a queue's
+     * now(). Operations run inline (they may
+     * send, which prices a delivery, or defer again); message
+     * deliveries are priced here — route latency, per-pair FIFO,
+     * link/hub reservations — but only *scheduled* when the
+     * destination region drains its inbox next window.
+     * @return entries executed (the run loop's adaptive-window and
+     *         stats input).
      */
-    void
+    std::uint64_t
     mergeEpoch(Tick horizon)
     {
         mergeHorizon = horizon;
@@ -282,14 +345,14 @@ class MemNet
         tlsExecRegion = 0;
         for (auto &box : outboxes) {
             for (CrossEntry &e : box)
-                crossQueue.push(std::move(e));
+                heapPush(std::move(e));
             box.clear();
         }
-        while (!crossQueue.empty() &&
-               crossQueue.top().tick <= horizon) {
-            CrossEntry e =
-                std::move(const_cast<CrossEntry &>(crossQueue.top()));
-            crossQueue.pop();
+        std::uint64_t ran = 0;
+        while (!crossHeap.empty() &&
+               crossHeap.front().tick <= horizon) {
+            CrossEntry e = heapPop();
+            ++ran;
             if (e.isOp)
                 e.fn();
             else
@@ -298,6 +361,7 @@ class MemNet
         }
         inMerge = false;
         tlsExecRegion = saved;
+        return ran;
     }
 
     /**
@@ -376,6 +440,38 @@ class MemNet
     };
 
     /**
+     * A merged, priced delivery parked in its destination region's
+     * inbox until that region's next window (drainInbox).
+     */
+    struct PendingDelivery
+    {
+        Tick when;
+        Handler *hp;
+        Message *pm;
+    };
+
+    /** Push onto the canonical min-heap (vector + heap algorithms —
+     *  unlike std::priority_queue this pops by move, not const_cast). */
+    void
+    heapPush(CrossEntry e)
+    {
+        crossHeap.push_back(std::move(e));
+        std::push_heap(crossHeap.begin(), crossHeap.end(),
+                       std::greater<>{});
+    }
+
+    /** Pop the canonically-least entry. @pre !crossHeap.empty() */
+    CrossEntry
+    heapPop()
+    {
+        std::pop_heap(crossHeap.begin(), crossHeap.end(),
+                      std::greater<>{});
+        CrossEntry e = std::move(crossHeap.back());
+        crossHeap.pop_back();
+        return e;
+    }
+
+    /**
      * Deliver a cross-region packet from merge context: price the
      * route contention-free, never earlier than the horizon, keep
      * (src, dst) point-to-point ordering, and schedule the handler
@@ -409,11 +505,15 @@ class MemNet
         if (t < mergeHorizon)
             t = mergeHorizon;
         t = mesh.orderedDelivery(src, dst, t);
+        // Priced and ordered; scheduling is the destination region's
+        // job (drainInbox, next window). The pooled slot comes from
+        // the merge context's pool and is released by the executing
+        // region — that only migrates freelist membership (see
+        // msgPool()).
         Message *pm = msgPool().acquire(msg);
-        regions[tileRegion[dst]]->eq.schedule(t, [this, hp, pm] {
-            (*hp)(*pm);
-            msgPool().release(pm);
-        });
+        const std::uint32_t dr = tileRegion[dst];
+        inboxes[dr].push_back(PendingDelivery{t, hp, pm});
+        inboxMin[dr] = std::min(inboxMin[dr], t);
         return t;
     }
 
@@ -485,8 +585,12 @@ class MemNet
     std::vector<std::unique_ptr<MessagePool>> pools;
     std::vector<std::vector<CrossEntry>> outboxes;
     std::vector<std::uint64_t> seqCounters;
-    std::priority_queue<CrossEntry, std::vector<CrossEntry>,
-                        std::greater<>> crossQueue;
+    /** Canonical (tick, srcRegion, seq) min-heap (heapPush/heapPop). */
+    std::vector<CrossEntry> crossHeap;
+    /** Priced deliveries awaiting their destination region's drain;
+     *  inboxMin[r] caches the earliest tick (maxTick = empty). */
+    std::vector<std::vector<PendingDelivery>> inboxes;
+    std::vector<Tick> inboxMin;
     std::uint64_t mergeSeq = 0;
     Tick mergeHorizon = 0;
     bool inMerge = false;

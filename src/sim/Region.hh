@@ -5,10 +5,15 @@
  * A partitioned System binds each contiguous band of mesh rows (a
  * region) to its own EventQueue. During an epoch every region
  * executes its queue up to a shared horizon on its own thread;
- * cross-region traffic is buffered in per-region outboxes and merged
- * at the epoch barrier in a canonical (tick, src-region, seq) order,
- * so results are byte-identical at any thread count (the region
- * structure itself never depends on how many threads execute it).
+ * cross-region traffic is buffered in per-region outboxes, priced at
+ * the epoch barrier in a canonical (tick, src-region, seq) order,
+ * and parked in per-destination inboxes that each region drains on
+ * its own thread at the next window — so results are byte-identical
+ * at any thread count (the region structure, the horizon sequence
+ * and the adaptive window width never depend on how many threads
+ * execute it). Regions with nothing below the horizon are skipped
+ * for the window; the run loop still advances their clocks to the
+ * horizon so merge-time scheduling sees uniform queue times.
  *
  * The thread-local tlsExecRegion names the region the current thread
  * is executing. Everything that must be region-confined — event

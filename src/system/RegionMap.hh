@@ -25,9 +25,14 @@
 namespace spmcoh
 {
 
-/** Default ceiling on regions per machine (diminishing returns and
- *  rising merge cost beyond this; callers may override). */
-constexpr std::uint32_t defaultMaxRegions = 8;
+/** Default ceiling on regions per machine (callers may override).
+ *  Raised from 8 to 16 once the epoch merge went sharded: the
+ *  single-threaded slice of each epoch no longer grows with the
+ *  region count, and drained regions are skipped rather than
+ *  scanned-and-barriered, so wider machines (32x32 = 1024 cores)
+ *  can hand a full 16 row bands to the workers. Still snapped to
+ *  phase-graph and chip boundaries by deriveRegionCuts. */
+constexpr std::uint32_t defaultMaxRegions = 16;
 
 /**
  * Interior cut tile indices for up to @p target_regions even row

@@ -56,6 +56,14 @@ System::System(const SystemParams &p_)
     // order can reproduce (see docs/architecture.md).
     std::uint32_t sim_threads =
         p.mode == SystemMode::HybridIdeal ? 0 : p.simThreads;
+    if (p.simWindowTicks == 0)
+        fatal("System: simWindowTicks must be >= 1");
+    if (p.simWindowMaxTicks != 0 &&
+        p.simWindowMaxTicks < p.simWindowTicks)
+        fatal("System: simWindowMaxTicks (" +
+              std::to_string(p.simWindowMaxTicks) +
+              ") is below simWindowTicks (" +
+              std::to_string(p.simWindowTicks) + ")");
     if (sim_threads > 0) {
         std::vector<std::uint32_t> cuts = p.regionCuts;
         if (cuts.empty())
@@ -303,27 +311,91 @@ System::runPartitioned()
     const std::uint32_t t_count = std::max<std::uint32_t>(
         1, std::min(effThreads, r_count));
 
+    // Epoch window width. Fixed at simWindowTicks unless adaptive
+    // (simWindowMaxTicks > 0): then it doubles after every quiet
+    // epoch — no cross-region entry merged, none pending — up to the
+    // ceiling, and snaps back to the base width the first time the
+    // merge touches work again. Both inputs are pure functions of
+    // simulation state, so the window (and horizon) sequence is
+    // identical at any thread count.
+    const Tick base_window = p.simWindowTicks;
+    const Tick max_window =
+        p.simWindowMaxTicks ? p.simWindowMaxTicks : base_window;
+    Tick window = base_window;
+
+    // Epoch observability, folded into epochStats after the loop.
+    std::uint64_t windows = 0, width_sum = 0, width_max = 0;
+    std::uint64_t widenings = 0, shrinks = 0;
+    std::uint64_t merge_entries = 0, skipped_regions = 0;
+
+    // A region participates in a window only when it has work below
+    // the horizon: an undrained inbox delivery or a pending event.
+    // Skipped regions cost their worker nothing — no inbox drain, no
+    // event loop — but their queue clocks are still advanced to the
+    // horizon (below, on this thread; an O(1) time bump since there
+    // is nothing to execute). Merge-time code relies on every region
+    // queue sitting at the merge horizon — barrier releases and
+    // follow-up operations schedule relative to queue clocks — so a
+    // parked region must not fall behind simulated time.
+    std::vector<std::uint8_t> active(r_count, 0);
+
     // Conservative windowed loop: the horizon is the earliest
-    // pending work anywhere (region queues or deferred cross-region
-    // entries) plus the window width. Every region runs to the
-    // horizon — events exactly at it wait for the next epoch — then
-    // the single-threaded merge applies cross-region traffic in
-    // canonical order. The horizon sequence is a pure function of
-    // simulation state, so it is identical at any thread count.
+    // pending work anywhere (region queues, undrained inboxes, or
+    // deferred cross-region entries) plus the window width. Every
+    // active region drains its inbox and runs to the horizon —
+    // events exactly at it wait for the next epoch — then the
+    // single-threaded merge prices cross-region traffic in canonical
+    // order into per-destination inboxes.
     auto nextHorizon = [&](Tick &horizon) {
         Tick nmin = net->crossPendingTick();
-        for (const auto &r : regions)
-            nmin = std::min(nmin, r->eq.nextTick());
+        for (std::uint32_t r = 0; r < r_count; ++r) {
+            nmin = std::min(nmin, regions[r]->eq.nextTick());
+            nmin = std::min(nmin, net->inboxTick(r));
+        }
         if (nmin == maxTick)
             return false;  // drained
-        horizon = nmin + p.simWindowTicks;
+        horizon = nmin + window;
+        for (std::uint32_t r = 0; r < r_count; ++r) {
+            active[r] = net->inboxTick(r) < horizon ||
+                        regions[r]->eq.nextTick() < horizon;
+            if (!active[r]) {
+                // Nothing below the horizon: advance the clock only
+                // (no events run), keeping the at-the-horizon
+                // invariant merge-time scheduling depends on.
+                regions[r]->eq.runUntil(horizon);
+                ++skipped_regions;
+            }
+        }
+        ++windows;
+        width_sum += window;
+        width_max = std::max<std::uint64_t>(width_max, window);
         return true;
     };
 
     auto runRegion = [&](std::uint32_t idx, Tick horizon) {
+        if (!active[idx])
+            return;
+        net->drainInbox(idx);
         tlsExecRegion = idx;
         regions[idx]->eq.runUntil(horizon);
         tlsExecRegion = 0;
+    };
+
+    // Merge, then adapt the window off what the merge saw.
+    auto mergeAndAdapt = [&](Tick horizon) {
+        const std::uint64_t merged = net->mergeEpoch(horizon);
+        merge_entries += merged;
+        if (max_window <= base_window)
+            return;
+        const bool quiet = merged == 0 &&
+                           net->crossPendingTick() == maxTick &&
+                           net->inboxPendingTick() == maxTick;
+        const Tick next_window =
+            quiet ? std::min<Tick>(window * 2, max_window)
+                  : base_window;
+        widenings += next_window > window ? 1 : 0;
+        shrinks += next_window < window ? 1 : 0;
+        window = next_window;
     };
 
     bool guard_tripped = false;
@@ -331,13 +403,13 @@ System::runPartitioned()
     if (t_count == 1) {
         Tick horizon = 0;
         while (nextHorizon(horizon)) {
-            if (horizon > p.maxTicks + p.simWindowTicks) {
+            if (horizon > p.maxTicks + window) {
                 guard_tripped = true;
                 break;
             }
             for (std::uint32_t r = 0; r < r_count; ++r)
                 runRegion(r, horizon);
-            net->mergeEpoch(horizon);
+            mergeAndAdapt(horizon);
         }
     } else {
         // Persistent workers, static round-robin region assignment
@@ -376,7 +448,7 @@ System::runPartitioned()
         }
 
         while (nextHorizon(horizon)) {
-            if (horizon > p.maxTicks + p.simWindowTicks) {
+            if (horizon > p.maxTicks + window) {
                 guard_tripped = true;
                 break;
             }
@@ -388,7 +460,7 @@ System::runPartitioned()
                 failed = failed || static_cast<bool>(e);
             if (failed)
                 break;
-            net->mergeEpoch(horizon);
+            mergeAndAdapt(horizon);
         }
         stop = true;
         start_gate.wait();
@@ -402,6 +474,13 @@ System::runPartitioned()
     }
 
     noc.foldRegionalTraffic();
+    epochStats.counter("windows") += windows;
+    epochStats.counter("windowTicks") += width_sum;
+    epochStats.counter("windowMax") += width_max;
+    epochStats.counter("widenings") += widenings;
+    epochStats.counter("shrinks") += shrinks;
+    epochStats.counter("mergeEntries") += merge_entries;
+    epochStats.counter("skippedRegions") += skipped_regions;
     if (guard_tripped)
         return false;
     for (CoreId i = 0; i < p.numCores; ++i)
@@ -433,6 +512,10 @@ System::visitStats(StatVisitor &v) const
             noc.interChipLink(c).statGroup().accept(v);
     if (farMem)
         farMem->statGroup().accept(v);
+    // Partitioned runs only: the epoch loop's window/merge/skip
+    // counters (empty — and omitted — for monolithic runs).
+    if (!regions.empty())
+        epochStats.accept(v);
 }
 
 RunResults

@@ -35,6 +35,7 @@
 #include "spm/Spm.hh"
 #include "sim/EventQueue.hh"
 #include "sim/Region.hh"
+#include "sim/Stats.hh"
 #include "system/Topology.hh"
 
 namespace spmcoh
@@ -114,6 +115,19 @@ struct SystemParams
      * window bounds the added cross-band latency.
      */
     Tick simWindowTicks = 8;
+    /**
+     * Adaptive epoch windows: when > 0, the window starts at
+     * simWindowTicks and doubles after every *quiet* epoch — one
+     * that merged no cross-region entry and left none pending — up
+     * to this ceiling, snapping back to simWindowTicks on the first
+     * epoch that touches cross-region work. Quietness is a pure
+     * function of simulation state (the merged-entry count and the
+     * cross heap), so the horizon sequence — and therefore the
+     * output — stays byte-identical at any --sim-threads count.
+     * 0 (the default) keeps the fixed-width window. Must be >=
+     * simWindowTicks when set.
+     */
+    Tick simWindowMaxTicks = 0;
     /**
      * Interior region boundaries as tile indices (each a multiple of
      * the mesh width: regions are whole row bands, which keeps XY
@@ -252,6 +266,12 @@ class System
     /** Row-band partitions (empty = monolithic run loop). */
     std::vector<std::unique_ptr<Region>> regions;
     std::uint32_t effThreads = 0;
+    /** Epoch-loop observability (partitioned runs only): windows
+     *  run, window-width sum/max, adaptive transitions, merge
+     *  entries, skipped region-windows. Filled once after the run
+     *  loop finishes; exported through visitStats so the
+     *  adaptivity is observable rather than inferred. */
+    StatGroup epochStats{"epochs"};
 
     std::vector<std::unique_ptr<MemCtrl>> mcs;
     std::vector<std::unique_ptr<DirectorySlice>> dirs;

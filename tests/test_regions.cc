@@ -1,19 +1,24 @@
 /**
  * @file
  * Tests for the partitioned simulation core: region-cut derivation
- * from mesh shape and phase-graph alignment candidates, windowed
- * EventQueue semantics, multi-queue barrier release, and the
- * headline determinism property — serial and N-sim-thread runs of
- * the same experiment export byte-identical JSON.
+ * from mesh shape and phase-graph alignment candidates (including
+ * the 16-region cap and chip-boundary snapping), windowed
+ * EventQueue semantics, multi-queue barrier release, adaptive epoch
+ * windows (widen on quiet, shrink on deferral, thread-count
+ * invariant), and the headline determinism property — serial and
+ * N-sim-thread runs of the same experiment export byte-identical
+ * JSON, across every checked-in golden's invocation.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cpu/Barrier.hh"
+#include "driver/Cli.hh"
 #include "driver/Driver.hh"
 #include "driver/ResultSink.hh"
 #include "runtime/PhaseSchedule.hh"
@@ -84,6 +89,65 @@ TEST(RegionMap, SnapsToAlignedCandidates)
     // Candidates that are not whole rows are ignored.
     EXPECT_EQ(deriveRegionCuts(4, 4, 2, {0, 6, 16}),
               (std::vector<std::uint32_t>{8}));
+}
+
+TEST(RegionMap, SixteenTargetSplitsLargeMeshEvenly)
+{
+    // defaultMaxRegions is 16 since the merge went sharded; a 32x32
+    // mesh (the 1024-core machine) must yield 15 two-row bands.
+    ASSERT_EQ(defaultMaxRegions, 16u);
+    const std::vector<std::uint32_t> cuts =
+        evenRegionCuts(32, 32, defaultMaxRegions);
+    ASSERT_EQ(cuts.size(), 15u);
+    for (std::size_t i = 0; i < cuts.size(); ++i)
+        EXPECT_EQ(cuts[i], (i + 1) * 2 * 32);
+}
+
+TEST(RegionMap, SixteenTargetStillSnapsToPhaseGraph)
+{
+    // A lone aligned candidate at row 3 (core 96) pulls the first
+    // cut off its even row-2 position; later cuts recover the even
+    // spacing (strictly increasing, one row minimum per region).
+    const std::vector<std::uint32_t> cuts =
+        deriveRegionCuts(32, 32, 16, {96});
+    ASSERT_EQ(cuts.size(), 15u);
+    EXPECT_EQ(cuts[0], 96u);
+    EXPECT_EQ(cuts[1], 4u * 32u);
+    std::uint32_t prev = 0;
+    for (std::uint32_t c : cuts) {
+        EXPECT_EQ(c % 32, 0u);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(RegionMap, SixteenTargetKeepsChipBoundaryCuts)
+{
+    // 1024 cores over 2 chips of 32x16: the chip boundary (tile 512)
+    // is a mandatory cut, and each chip splits its half of the
+    // 16-region budget into 8 two-row bands.
+    const std::vector<std::uint32_t> cuts =
+        deriveRegionCuts(32, 16, 16, {}, 2);
+    ASSERT_EQ(cuts.size(), 15u);
+    EXPECT_NE(std::find(cuts.begin(), cuts.end(), 512u), cuts.end());
+    for (std::size_t i = 0; i < 7; ++i) {
+        EXPECT_EQ(cuts[i], (i + 1) * 2 * 32);          // chip 0
+        EXPECT_EQ(cuts[i + 8], 512 + (i + 1) * 2 * 32); // chip 1
+    }
+
+    // Phase-graph candidates snap chip-locally: a boundary at core
+    // 608 (chip 1, local row 3) moves chip 1's first interior cut
+    // without disturbing chip 0 or the mandatory 512 cut.
+    const std::vector<std::uint32_t> snapped =
+        deriveRegionCuts(32, 16, 16, {608}, 2);
+    EXPECT_NE(std::find(snapped.begin(), snapped.end(), 512u),
+              snapped.end());
+    EXPECT_NE(std::find(snapped.begin(), snapped.end(), 608u),
+              snapped.end());
+    EXPECT_EQ(std::vector<std::uint32_t>(snapped.begin(),
+                                         snapped.begin() + 7),
+              std::vector<std::uint32_t>(cuts.begin(),
+                                         cuts.begin() + 7));
 }
 
 TEST(RegionMap, SnappingKeepsCutsDistinct)
@@ -199,15 +263,17 @@ TEST(BarrierRegions, ReleasesOneEventPerQueueInArrivalOrder)
 // ---------------------------------------------------------------
 
 std::string
-runToJson(const std::string &workload, std::uint32_t sim_threads)
+runToJson(const std::string &workload, std::uint32_t sim_threads,
+          Tick window_max = 0)
 {
-    const ExperimentSpec spec = ExperimentBuilder()
-                                    .workload(workload)
-                                    .mode(SystemMode::HybridProto)
-                                    .cores(8)
-                                    .simThreads(sim_threads)
-                                    .spec();
-    const ExperimentResult res = runExperiment(spec);
+    ExperimentBuilder b = ExperimentBuilder()
+                              .workload(workload)
+                              .mode(SystemMode::HybridProto)
+                              .cores(8)
+                              .simThreads(sim_threads);
+    if (window_max > 0)
+        b.simWindow(0, window_max);
+    const ExperimentResult res = runExperiment(b.spec());
     std::ostringstream os;
     auto sink = makeResultSink(ResultFormat::Json, os,
                                /*with_stats=*/true);
@@ -234,6 +300,111 @@ TEST(PartitionedDeterminism, RepeatedRunsAreStable)
     const std::string a = runToJson("pipeline", 2);
     const std::string b = runToJson("pipeline", 2);
     EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------
+// Adaptive epoch windows
+// ---------------------------------------------------------------
+
+std::uint64_t
+epochCounter(const ExperimentResult &r, const std::string &key)
+{
+    const auto g = r.stats.find("epochs");
+    if (g == r.stats.end())
+        return 0;
+    const auto c = g->second.counters.find(key);
+    return c == g->second.counters.end() ? 0 : c->second;
+}
+
+TEST(AdaptiveWindow, HorizonSequenceIdenticalAcrossThreadCounts)
+{
+    // The adaptive window doubles only off merge-visible state
+    // (entries merged, cross heap, inboxes), never off thread
+    // timing, so the horizon sequence — observable through the
+    // exported epochs counters, which the JSON includes — must be
+    // byte-identical at 1, 2, 4 and 8 sim threads.
+    const std::string serial = runToJson("CG", 1, /*window_max=*/128);
+    EXPECT_EQ(serial, runToJson("CG", 2, 128));
+    EXPECT_EQ(serial, runToJson("CG", 4, 128));
+    EXPECT_EQ(serial, runToJson("CG", 8, 128));
+}
+
+TEST(AdaptiveWindow, WidensWhenQuietAndShrinksOnDeferral)
+{
+    const auto run = [](Tick window_max) {
+        ExperimentBuilder b = ExperimentBuilder()
+                                  .workload("CG")
+                                  .mode(SystemMode::HybridProto)
+                                  .cores(8)
+                                  .simThreads(1);
+        if (window_max > 0)
+            b.simWindow(0, window_max);
+        return runExperiment(b.spec());
+    };
+
+    const ExperimentResult fixed = run(0);
+    const ExperimentResult adaptive = run(128);
+
+    // Fixed window: width pinned at the 8-tick default, never moves.
+    EXPECT_EQ(epochCounter(fixed, "windowMax"), 8u);
+    EXPECT_EQ(epochCounter(fixed, "widenings"), 0u);
+    EXPECT_EQ(epochCounter(fixed, "shrinks"), 0u);
+
+    // Adaptive: quiet stretches double the width up to the ceiling,
+    // the first cross-region deferral snaps it back, and the wider
+    // windows cover the run in fewer epochs.
+    EXPECT_EQ(epochCounter(adaptive, "windowMax"), 128u);
+    EXPECT_GT(epochCounter(adaptive, "widenings"), 0u);
+    EXPECT_GT(epochCounter(adaptive, "shrinks"), 0u);
+    EXPECT_LT(epochCounter(adaptive, "windows"),
+              epochCounter(fixed, "windows"));
+    // Drained regions sit out their windows in both modes.
+    EXPECT_GT(epochCounter(adaptive, "skippedRegions"), 0u);
+}
+
+// ---------------------------------------------------------------
+// Golden-invocation replay across sim-thread counts
+// ---------------------------------------------------------------
+
+/**
+ * Replay every checked-in golden's CLI invocation through the
+ * partitioned core: --sim-threads=8 must reproduce --sim-threads=1
+ * byte for byte, fixed and adaptive windows alike. (The goldens
+ * themselves capture the monolithic timing model; st=0 byte-identity
+ * against the files is MultiChipGoldens.SingleChipIsByteIdentical.)
+ */
+TEST(GoldenReplay, SimThreadCountsAgreeOnEveryGolden)
+{
+    const std::vector<std::vector<std::string>> invocations = {
+        {"--workload=CG", "--cores=8"},
+        {"--workload=pipeline", "--cores=8"},
+        {"--workload=stencil", "--cores=8", "--wparam=grids=7"},
+        {"--workload=gather", "--cores=8"},
+        {"--workload=contend", "--cores=8"},
+        {"--workload=CG", "--cores=8", "--protocol=mesi"},
+    };
+    const auto replay = [](std::vector<std::string> args,
+                           const std::string &threads,
+                           bool adaptive) {
+        args.push_back("--sim-threads=" + threads);
+        if (adaptive)
+            args.push_back("--sim-window=auto");
+        args.push_back("--format=json");
+        args.push_back("--no-stats");
+        const CliOptions opt = parseCli(args);
+        std::ostringstream os;
+        SweepRunner runner(WorkloadRegistry::global());
+        const auto sink = makeResultSink(opt.format, os,
+                                         opt.withStats);
+        runner.run(opt.sweep, sink.get(), "golden-replay");
+        return os.str();
+    };
+    for (const auto &inv : invocations) {
+        const std::string fixed1 = replay(inv, "1", false);
+        EXPECT_EQ(fixed1, replay(inv, "8", false)) << inv[0];
+        const std::string auto1 = replay(inv, "1", true);
+        EXPECT_EQ(auto1, replay(inv, "8", true)) << inv[0];
+    }
 }
 
 } // namespace
